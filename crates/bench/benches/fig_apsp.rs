@@ -1,0 +1,58 @@
+//! Criterion bench for Figures 6 and 7: wall-clock of the simulated
+//! APSP programs (UC and C*), one benchmark group per figure.
+//!
+//! The *figures* plot simulated cycles (run the `fig6`/`fig7` binaries);
+//! these benches track the simulator's host performance so regressions
+//! in the implementation itself are visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uc_seqc::oracle;
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_apsp_n2");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("uc", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(uc_bench::run_uc_cycles(
+                    uc_bench::UC_APSP_N2,
+                    &[("N", n as i64)],
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cstar", n), &n, |b, &n| {
+            let graph = oracle::bench_graph(n);
+            b.iter(|| {
+                black_box(uc_cstar::programs::apsp_n2(&graph, n, uc_bench::PHYS_PROCS))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_apsp_n3");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    for n in [8usize, 16] {
+        let logn = (usize::BITS - (n - 1).leading_zeros()) as i64;
+        group.bench_with_input(BenchmarkId::new("uc", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(uc_bench::run_uc_cycles(
+                    uc_bench::UC_APSP_N3,
+                    &[("N", n as i64), ("LOGN", logn)],
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cstar", n), &n, |b, &n| {
+            let graph = oracle::bench_graph(n);
+            b.iter(|| {
+                black_box(uc_cstar::programs::apsp_n3(&graph, n, uc_bench::PHYS_PROCS))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion bench for Figure 8: the grid-goal workload across its three
+//! implementations (sequential, optimized sequential, UC on the CM) plus
+//! the C*-DSL rendition.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uc_seqc::{grid, oracle, SeqMachine};
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_grid_goal");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    for n in [16usize, 32] {
+        let walls = oracle::figure11_walls(n);
+        let walls2 = walls.clone();
+        let walls3 = walls.clone();
+        group.bench_with_input(BenchmarkId::new("seq", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = SeqMachine::new();
+                black_box(grid::grid_goal(&mut m, n, n, &walls, 1 << 30))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("seq_opt", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut m = SeqMachine::optimized();
+                black_box(grid::grid_goal(&mut m, n, n, &walls2, 1 << 30))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("uc_cm", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(uc_bench::run_uc_cycles(
+                    uc_bench::UC_GRID_GOAL,
+                    &[("N", n as i64)],
+                ))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("cstar_cm", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(uc_cstar::programs::grid_goal(
+                    n,
+                    n,
+                    &walls3,
+                    1 << 30,
+                    uc_bench::PHYS_PROCS,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for the §4 ablations: the mapping kernel under its
+//! three communication regimes, and the histogram with/without the
+//! processor optimization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uc_core::{ExecConfig, Program};
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("map_ablation");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    let defines = [("N", 1024i64), ("ITERS", 32i64)];
+    group.bench_function("router", |b| {
+        b.iter(|| {
+            let cfg = ExecConfig { optimize_access: false, ..ExecConfig::default() };
+            let mut p =
+                Program::compile_with_defines(uc_bench::UC_SHIFT_KERNEL, cfg, &defines).unwrap();
+            p.run().unwrap();
+            black_box(p.cycles())
+        })
+    });
+    group.bench_function("news_default", |b| {
+        b.iter(|| black_box(uc_bench::run_uc_cycles(uc_bench::UC_SHIFT_KERNEL, &defines)))
+    });
+    group.bench_function("permute_local", |b| {
+        b.iter(|| {
+            black_box(uc_bench::run_uc_cycles(uc_bench::UC_SHIFT_KERNEL_MAPPED, &defines))
+        })
+    });
+    group.finish();
+}
+
+fn bench_procopt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("procopt_ablation");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    let defines = [("N", 1024i64)];
+    group.bench_function("on", |b| {
+        b.iter(|| black_box(uc_bench::run_uc_cycles(uc_bench::UC_HISTOGRAM, &defines)))
+    });
+    group.bench_function("off", |b| {
+        b.iter(|| {
+            let cfg = ExecConfig { procopt: false, ..ExecConfig::default() };
+            let mut p =
+                Program::compile_with_defines(uc_bench::UC_HISTOGRAM, cfg, &defines).unwrap();
+            p.run().unwrap();
+            black_box(p.cycles())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mapping, bench_procopt);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks of the language pipeline itself: compile
+//! time and per-construct execution on the host.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use uc_core::Program;
+
+const RANKSORT: &str = r#"
+    #define N 64
+    index_set I:i = {0..N-1}, J:j = I;
+    int a[N], sorted[N];
+    main() {
+        par (I) a[i] = (7 * i + 5) % N;
+        par (I) {
+            int rank;
+            rank = $+(J st (a[j] < a[i]) 1);
+            sorted[rank] = a[i];
+        }
+    }
+"#;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("compile_ranksort", |b| {
+        b.iter(|| black_box(Program::compile(RANKSORT).unwrap()))
+    });
+    group.bench_function("run_ranksort", |b| {
+        b.iter(|| {
+            let mut p = Program::compile(RANKSORT).unwrap();
+            p.run().unwrap();
+            black_box(p.cycles())
+        })
+    });
+    group.finish();
+}
+
+fn bench_constructs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constructs");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(2));
+    let cases: &[(&str, &str)] = &[
+        (
+            "par_assign",
+            "#define N 4096\nindex_set I:i = {0..N-1};\nint a[N];\nmain() { par (I) a[i] = i * 3 + 1; }",
+        ),
+        (
+            "reduction",
+            "#define N 4096\nindex_set I:i = {0..N-1};\nint a[N], s;\nmain() { par (I) a[i] = i; s = $+(I; a[i]); }",
+        ),
+        (
+            "solve_wavefront",
+            "#define N 16\nindex_set I:i = {0..N-1}, J:j = I;\nint a[N][N];\nmain() { solve (I,J) a[i][j] = (i==0||j==0) ? 1 : a[i-1][j] + a[i][j-1]; }",
+        ),
+    ];
+    for (name, src) in cases {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut p = Program::compile(src).unwrap();
+                p.run().unwrap();
+                black_box(p.cycles())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_constructs);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! The §4 mapping ablation behind the paper's "improved by a factor of
+//! 10, simply by specifying an efficient mapping" claim.
+//!
+//! Sweeps the shifted-access kernel `a[i] = a[i] + b[i+1]` under three
+//! regimes: unoptimized (router), default mapping (NEWS) and the permute
+//! mapping of §4 (local). Usage: `map_ablation [--json]`.
+
+fn main() {
+    // 32768 and 65536 exceed the 16K physical machine: the VP-ratio kink
+    // appears in all three series.
+    let ns = [256, 1024, 4096, 16384, 32768, 65536];
+    let fig = uc_bench::map_ablation(&ns, 64);
+    print!("{}", uc_bench::render(&fig));
+    let at_16k = 3; // index of N=16384
+    let router = fig.series[0].points[at_16k].1 as f64;
+    let local = fig.series[2].points[at_16k].1 as f64;
+    println!("\nrouter/local speed-up at N=16384: {:.1}x", router / local);
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", uc_bench::to_json(&fig));
+    }
+}

@@ -1,0 +1,142 @@
+//! Context flags: the CM activity mask.
+//!
+//! Every CM processing element carries a one-bit *context flag*; a SIMD
+//! instruction only takes effect on processors whose flag is set. Nested
+//! `where`-style selection (UC's `st (pred)` guards, C*'s active sets) is
+//! modelled as a stack of masks whose top is the AND of every enclosing
+//! selection.
+
+use crate::{CmError, Result};
+
+/// A stack of activity masks for one VP set.
+///
+/// The base of the stack is the all-active mask and can never be popped.
+/// Pushing ANDs a new predicate into the current mask, which is exactly how
+/// the CM implements nested selection: deactivated processors stay
+/// deactivated for the whole nested block.
+#[derive(Debug, Clone)]
+pub struct ContextStack {
+    size: usize,
+    stack: Vec<Vec<bool>>,
+}
+
+impl ContextStack {
+    /// A context stack for a VP set of `size` processors, all active.
+    pub fn new(size: usize) -> Self {
+        ContextStack { size, stack: vec![vec![true; size]] }
+    }
+
+    /// The current activity mask.
+    #[inline]
+    pub fn current(&self) -> &[bool] {
+        self.stack.last().expect("context stack has a base").as_slice()
+    }
+
+    /// Number of VPs in the set.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Depth of nesting, counting the base mask.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Push `mask AND current` as the new activity mask.
+    ///
+    /// `mask` must have exactly one bit per VP.
+    pub fn push_and(&mut self, mask: &[bool]) -> Result<()> {
+        if mask.len() != self.size {
+            return Err(CmError::VpSetMismatch);
+        }
+        let cur = self.current();
+        let next: Vec<bool> = cur.iter().zip(mask).map(|(&c, &m)| c && m).collect();
+        self.stack.push(next);
+        Ok(())
+    }
+
+    /// Push the complement *within the enclosing mask*: processors that are
+    /// active in the enclosing context but were **not** active in `mask`.
+    ///
+    /// This implements UC's `others` clause.
+    pub fn push_others(&mut self, mask: &[bool]) -> Result<()> {
+        if mask.len() != self.size {
+            return Err(CmError::VpSetMismatch);
+        }
+        let cur = self.current();
+        let next: Vec<bool> = cur.iter().zip(mask).map(|(&c, &m)| c && !m).collect();
+        self.stack.push(next);
+        Ok(())
+    }
+
+    /// Pop the innermost selection. The base mask cannot be popped.
+    pub fn pop(&mut self) -> Result<()> {
+        if self.stack.len() == 1 {
+            return Err(CmError::ContextUnderflow);
+        }
+        self.stack.pop();
+        Ok(())
+    }
+
+    /// Number of active processors under the current mask.
+    pub fn active_count(&self) -> usize {
+        self.current().iter().filter(|&&b| b).count()
+    }
+
+    /// Whether any processor is active.
+    pub fn any_active(&self) -> bool {
+        self.current().iter().any(|&b| b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_is_all_active() {
+        let c = ContextStack::new(4);
+        assert_eq!(c.current(), &[true; 4]);
+        assert_eq!(c.active_count(), 4);
+        assert!(c.any_active());
+        assert_eq!(c.depth(), 1);
+    }
+
+    #[test]
+    fn push_and_nests() {
+        let mut c = ContextStack::new(4);
+        c.push_and(&[true, false, true, false]).unwrap();
+        assert_eq!(c.current(), &[true, false, true, false]);
+        c.push_and(&[true, true, false, false]).unwrap();
+        assert_eq!(c.current(), &[true, false, false, false]);
+        assert_eq!(c.active_count(), 1);
+        c.pop().unwrap();
+        assert_eq!(c.current(), &[true, false, true, false]);
+    }
+
+    #[test]
+    fn push_others_complements_within_parent() {
+        let mut c = ContextStack::new(4);
+        c.push_and(&[true, true, false, false]).unwrap();
+        // Parent restricts to {0,1}; mask selected {0}; others = {1}.
+        c.push_others(&[true, false, false, false]).unwrap();
+        assert_eq!(c.current(), &[false, true, false, false]);
+    }
+
+    #[test]
+    fn base_pop_underflows() {
+        let mut c = ContextStack::new(2);
+        assert_eq!(c.pop(), Err(CmError::ContextUnderflow));
+        c.push_and(&[false, false]).unwrap();
+        assert!(!c.any_active());
+        c.pop().unwrap();
+        assert_eq!(c.pop(), Err(CmError::ContextUnderflow));
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let mut c = ContextStack::new(2);
+        assert_eq!(c.push_and(&[true]), Err(CmError::VpSetMismatch));
+        assert_eq!(c.push_others(&[true; 3]), Err(CmError::VpSetMismatch));
+    }
+}

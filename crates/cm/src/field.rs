@@ -1,0 +1,122 @@
+//! Per-VP memory fields.
+//!
+//! A *field* is one named slot of local memory replicated across every
+//! virtual processor of a VP set — the CM analogue of "an array mapped one
+//! element per processor". Fields are strongly typed; UC integers map to
+//! `i64`, UC floats to `f64`, and test results to `bool`.
+
+use crate::machine::VpSetId;
+
+/// Element type of a field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemType {
+    Int,
+    Float,
+    Bool,
+}
+
+/// The storage of one field: a homogeneous vector with one element per VP.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldData {
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    Bool(Vec<bool>),
+}
+
+impl FieldData {
+    /// Allocate zero-initialised storage of the given type and length.
+    pub fn zeroed(ty: ElemType, len: usize) -> Self {
+        match ty {
+            ElemType::Int => FieldData::I64(vec![0; len]),
+            ElemType::Float => FieldData::F64(vec![0.0; len]),
+            ElemType::Bool => FieldData::Bool(vec![false; len]),
+        }
+    }
+
+    /// The element type of this storage.
+    pub fn elem_type(&self) -> ElemType {
+        match self {
+            FieldData::I64(_) => ElemType::Int,
+            FieldData::F64(_) => ElemType::Float,
+            FieldData::Bool(_) => ElemType::Bool,
+        }
+    }
+
+    /// Number of elements (= VP-set size).
+    pub fn len(&self) -> usize {
+        match self {
+            FieldData::I64(v) => v.len(),
+            FieldData::F64(v) => v.len(),
+            FieldData::Bool(v) => v.len(),
+        }
+    }
+
+    /// Whether the field has no elements (never true for a live VP set).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A field: named, typed, per-VP storage belonging to one VP set.
+#[derive(Debug, Clone)]
+pub struct Field {
+    pub(crate) name: String,
+    pub(crate) data: FieldData,
+}
+
+impl Field {
+    pub(crate) fn new(name: &str, ty: ElemType, len: usize) -> Self {
+        Field { name: name.to_string(), data: FieldData::zeroed(ty, len) }
+    }
+
+    /// The debug name given at allocation time.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The element type.
+    pub fn elem_type(&self) -> ElemType {
+        self.data.elem_type()
+    }
+}
+
+/// Handle to a field. Carries its VP set so cross-set misuse is caught.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FieldId {
+    pub(crate) vp: VpSetId,
+    pub(crate) index: usize,
+}
+
+impl FieldId {
+    /// The VP set this field lives on.
+    pub fn vp_set(&self) -> VpSetId {
+        self.vp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_storage() {
+        let d = FieldData::zeroed(ElemType::Int, 4);
+        assert_eq!(d, FieldData::I64(vec![0; 4]));
+        assert_eq!(d.elem_type(), ElemType::Int);
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+
+        let d = FieldData::zeroed(ElemType::Float, 2);
+        assert_eq!(d.elem_type(), ElemType::Float);
+        let d = FieldData::zeroed(ElemType::Bool, 3);
+        assert_eq!(d.elem_type(), ElemType::Bool);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn field_metadata() {
+        let f = Field::new("rank", ElemType::Int, 8);
+        assert_eq!(f.name(), "rank");
+        assert_eq!(f.elem_type(), ElemType::Int);
+    }
+}

@@ -1,0 +1,403 @@
+//! The machine: front end + processing-element array.
+//!
+//! [`Machine`] owns every VP set (geometry, context stack, fields), the
+//! cycle clock and the instruction counters. All simulator operations are
+//! methods on `Machine` (spread across `ops`, `news`, `router` and `scan`);
+//! each one validates its operands, charges the cost model, and then
+//! executes deterministically.
+
+use crate::context::ContextStack;
+use crate::cost::{CostModel, OpClass, OpCounters};
+use crate::field::{ElemType, Field, FieldData, FieldId};
+use crate::geometry::Geometry;
+use crate::{CmError, Result};
+
+/// Handle to a VP set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VpSetId(pub(crate) usize);
+
+/// One virtual-processor set: a geometry, an activity-mask stack, and the
+/// fields allocated on it. Freed field slots are reused.
+#[derive(Debug)]
+pub(crate) struct VpSet {
+    pub(crate) name: String,
+    pub(crate) geom: Geometry,
+    pub(crate) context: ContextStack,
+    pub(crate) fields: Vec<Option<Field>>,
+    free_slots: Vec<usize>,
+}
+
+/// Machine configuration.
+#[derive(Debug, Clone)]
+pub struct MachineConfig {
+    /// Number of physical processors (the paper's machine had 16K).
+    pub phys_procs: usize,
+    /// Cycle charges per instruction class.
+    pub cost: CostModel,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig { phys_procs: 16 * 1024, cost: CostModel::default() }
+    }
+}
+
+/// The simulated Connection Machine.
+#[derive(Debug)]
+pub struct Machine {
+    pub(crate) config: MachineConfig,
+    pub(crate) vpsets: Vec<VpSet>,
+    clock: u64,
+    counters: OpCounters,
+}
+
+impl Machine {
+    /// A machine with the default 16K-processor configuration.
+    pub fn with_defaults() -> Self {
+        Machine::new(MachineConfig::default())
+    }
+
+    /// A machine with an explicit configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        Machine { config, vpsets: Vec::new(), clock: 0, counters: OpCounters::default() }
+    }
+
+    /// Number of physical processors.
+    pub fn phys_procs(&self) -> usize {
+        self.config.phys_procs
+    }
+
+    /// Elapsed cycles since construction (or the last [`Machine::reset_clock`]).
+    pub fn cycles(&self) -> u64 {
+        self.clock
+    }
+
+    /// Instruction counters by class.
+    pub fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    /// Reset the clock and counters (e.g. to exclude setup from a timing).
+    pub fn reset_clock(&mut self) {
+        self.clock = 0;
+        self.counters = OpCounters::default();
+    }
+
+    /// Charge one instruction of `class` issued to a VP set of `vp_size`.
+    #[inline]
+    pub(crate) fn tick(&mut self, class: OpClass, vp_size: usize) {
+        self.clock += self.config.cost.charge(class, vp_size, self.config.phys_procs);
+        self.counters.bump(class);
+    }
+
+    // ---- VP sets --------------------------------------------------------
+
+    /// Create a VP set with the given geometry.
+    pub fn new_vp_set(&mut self, name: &str, dims: &[usize]) -> Result<VpSetId> {
+        let geom = Geometry::new(dims)?;
+        let size = geom.size();
+        self.vpsets.push(VpSet {
+            name: name.to_string(),
+            geom,
+            context: ContextStack::new(size),
+            fields: Vec::new(),
+            free_slots: Vec::new(),
+        });
+        Ok(VpSetId(self.vpsets.len() - 1))
+    }
+
+    pub(crate) fn vp(&self, id: VpSetId) -> Result<&VpSet> {
+        self.vpsets.get(id.0).ok_or(CmError::UnknownVpSet)
+    }
+
+    pub(crate) fn vp_mut(&mut self, id: VpSetId) -> Result<&mut VpSet> {
+        self.vpsets.get_mut(id.0).ok_or(CmError::UnknownVpSet)
+    }
+
+    /// Number of virtual processors in a VP set.
+    pub fn vp_size(&self, id: VpSetId) -> Result<usize> {
+        Ok(self.vp(id)?.geom.size())
+    }
+
+    /// The geometry of a VP set.
+    pub fn geometry(&self, id: VpSetId) -> Result<&Geometry> {
+        Ok(&self.vp(id)?.geom)
+    }
+
+    /// Debug name of a VP set.
+    pub fn vp_name(&self, id: VpSetId) -> Result<&str> {
+        Ok(self.vp(id)?.name.as_str())
+    }
+
+    // ---- Fields ---------------------------------------------------------
+
+    /// Allocate a zero-initialised field of `ty` on `vp`.
+    pub fn alloc(&mut self, vp: VpSetId, name: &str, ty: ElemType) -> Result<FieldId> {
+        let set = self.vp_mut(vp)?;
+        let len = set.geom.size();
+        let field = Field::new(name, ty, len);
+        let index = if let Some(slot) = set.free_slots.pop() {
+            set.fields[slot] = Some(field);
+            slot
+        } else {
+            set.fields.push(Some(field));
+            set.fields.len() - 1
+        };
+        Ok(FieldId { vp, index })
+    }
+
+    /// Allocate an integer field.
+    pub fn alloc_int(&mut self, vp: VpSetId, name: &str) -> Result<FieldId> {
+        self.alloc(vp, name, ElemType::Int)
+    }
+
+    /// Allocate a float field.
+    pub fn alloc_float(&mut self, vp: VpSetId, name: &str) -> Result<FieldId> {
+        self.alloc(vp, name, ElemType::Float)
+    }
+
+    /// Allocate a boolean (test/flag) field.
+    pub fn alloc_bool(&mut self, vp: VpSetId, name: &str) -> Result<FieldId> {
+        self.alloc(vp, name, ElemType::Bool)
+    }
+
+    /// Free a field, making its slot reusable. Using the id afterwards
+    /// yields [`CmError::UnknownField`].
+    pub fn free(&mut self, id: FieldId) -> Result<()> {
+        let set = self.vp_mut(id.vp)?;
+        match set.fields.get_mut(id.index) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                set.free_slots.push(id.index);
+                Ok(())
+            }
+            _ => Err(CmError::UnknownField),
+        }
+    }
+
+    pub(crate) fn field(&self, id: FieldId) -> Result<&Field> {
+        self.vp(id.vp)?
+            .fields
+            .get(id.index)
+            .and_then(|f| f.as_ref())
+            .ok_or(CmError::UnknownField)
+    }
+
+    pub(crate) fn field_mut(&mut self, id: FieldId) -> Result<&mut Field> {
+        self.vp_mut(id.vp)?
+            .fields
+            .get_mut(id.index)
+            .and_then(|f| f.as_mut())
+            .ok_or(CmError::UnknownField)
+    }
+
+    /// Element type of a field.
+    pub fn elem_type(&self, id: FieldId) -> Result<ElemType> {
+        Ok(self.field(id)?.elem_type())
+    }
+
+    /// Number of live (allocated, un-freed) fields across all VP sets.
+    /// Useful for leak tests: a well-behaved client's live count is
+    /// bounded over repeated operations.
+    pub fn live_fields(&self) -> usize {
+        self.vpsets
+            .iter()
+            .map(|s| s.fields.iter().filter(|f| f.is_some()).count())
+            .sum()
+    }
+
+    /// Borrow an int field's storage (front-end inspection; not charged).
+    pub fn int_data(&self, id: FieldId) -> Result<&[i64]> {
+        match &self.field(id)?.data {
+            FieldData::I64(v) => Ok(v),
+            other => {
+                Err(CmError::TypeMismatch { expected: ElemType::Int, found: other.elem_type() })
+            }
+        }
+    }
+
+    /// Borrow a float field's storage (front-end inspection; not charged).
+    pub fn float_data(&self, id: FieldId) -> Result<&[f64]> {
+        match &self.field(id)?.data {
+            FieldData::F64(v) => Ok(v),
+            other => {
+                Err(CmError::TypeMismatch { expected: ElemType::Float, found: other.elem_type() })
+            }
+        }
+    }
+
+    /// Borrow a bool field's storage (front-end inspection; not charged).
+    pub fn bool_data(&self, id: FieldId) -> Result<&[bool]> {
+        match &self.field(id)?.data {
+            FieldData::Bool(v) => Ok(v),
+            other => {
+                Err(CmError::TypeMismatch { expected: ElemType::Bool, found: other.elem_type() })
+            }
+        }
+    }
+
+    /// Snapshot a field's storage (a front-end bulk read; charged as one
+    /// front-end op per element).
+    pub fn read_all(&mut self, id: FieldId) -> Result<FieldData> {
+        let data = self.field(id)?.data.clone();
+        self.tick(OpClass::FrontEnd, data.len());
+        Ok(data)
+    }
+
+    /// Overwrite a field's storage wholesale (front-end bulk write). The
+    /// data must match the field's type and the VP-set size. The context
+    /// mask is *ignored*, like `write_elem`: this models front-end DMA.
+    pub fn write_all(&mut self, id: FieldId, data: FieldData) -> Result<()> {
+        let len = self.vp(id.vp)?.geom.size();
+        let field = self.field(id)?;
+        if field.elem_type() != data.elem_type() {
+            return Err(CmError::TypeMismatch {
+                expected: field.elem_type(),
+                found: data.elem_type(),
+            });
+        }
+        if data.len() != len {
+            return Err(CmError::VpSetMismatch);
+        }
+        self.field_mut(id)?.data = data;
+        self.tick(OpClass::FrontEnd, len);
+        Ok(())
+    }
+
+    // ---- Context --------------------------------------------------------
+
+    /// Push `mask AND current` as the activity mask of `vp`. `mask` must be
+    /// a bool field on `vp`.
+    pub fn push_context(&mut self, mask: FieldId) -> Result<()> {
+        let bits = self.bool_data(mask)?.to_vec();
+        let size = bits.len();
+        self.vp_mut(mask.vp)?.context.push_and(&bits)?;
+        self.tick(OpClass::Context, size);
+        Ok(())
+    }
+
+    /// Push the `others` complement of `mask` within the enclosing context.
+    pub fn push_context_others(&mut self, mask: FieldId) -> Result<()> {
+        let bits = self.bool_data(mask)?.to_vec();
+        let size = bits.len();
+        self.vp_mut(mask.vp)?.context.push_others(&bits)?;
+        self.tick(OpClass::Context, size);
+        Ok(())
+    }
+
+    /// Pop the innermost activity mask of `vp`.
+    pub fn pop_context(&mut self, vp: VpSetId) -> Result<()> {
+        let size = self.vp(vp)?.geom.size();
+        self.vp_mut(vp)?.context.pop()?;
+        self.tick(OpClass::Context, size);
+        Ok(())
+    }
+
+    /// Number of active VPs under the current mask (a global-OR style
+    /// front-end test; charged as a scan).
+    pub fn active_count(&mut self, vp: VpSetId) -> Result<usize> {
+        let size = self.vp(vp)?.geom.size();
+        self.tick(OpClass::Scan, size);
+        Ok(self.vp(vp)?.context.active_count())
+    }
+
+    /// Whether any VP is active (the CM global-OR wire).
+    pub fn any_active(&mut self, vp: VpSetId) -> Result<bool> {
+        let size = self.vp(vp)?.geom.size();
+        self.tick(OpClass::Scan, size);
+        Ok(self.vp(vp)?.context.any_active())
+    }
+
+    /// The current activity mask, cloned (no charge: test-only accessor).
+    pub fn context_mask(&self, vp: VpSetId) -> Result<Vec<bool>> {
+        Ok(self.vp(vp)?.context.current().to_vec())
+    }
+
+    /// Current context nesting depth (including the base mask).
+    pub fn context_depth(&self, vp: VpSetId) -> Result<usize> {
+        Ok(self.vp(vp)?.context.depth())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vp_set_lifecycle() {
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("grid", &[4, 4]).unwrap();
+        assert_eq!(m.vp_size(vp).unwrap(), 16);
+        assert_eq!(m.vp_name(vp).unwrap(), "grid");
+        assert_eq!(m.geometry(vp).unwrap().rank(), 2);
+        assert!(m.new_vp_set("bad", &[0]).is_err());
+    }
+
+    #[test]
+    fn field_alloc_free_reuse() {
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("v", &[8]).unwrap();
+        let a = m.alloc_int(vp, "a").unwrap();
+        let b = m.alloc_float(vp, "b").unwrap();
+        assert_eq!(m.elem_type(a).unwrap(), ElemType::Int);
+        assert_eq!(m.elem_type(b).unwrap(), ElemType::Float);
+        m.free(a).unwrap();
+        assert_eq!(m.elem_type(a), Err(CmError::UnknownField));
+        // Double free of a freed handle is rejected.
+        assert!(m.free(a).is_err());
+        // Slot is reused by the next allocation.
+        let c = m.alloc_bool(vp, "c").unwrap();
+        assert_eq!(c.index, a.index);
+        assert_eq!(m.elem_type(c).unwrap(), ElemType::Bool);
+    }
+
+    #[test]
+    fn read_write_all_roundtrip() {
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("v", &[4]).unwrap();
+        let a = m.alloc_int(vp, "a").unwrap();
+        m.write_all(a, FieldData::I64(vec![5, 6, 7, 8])).unwrap();
+        assert_eq!(m.read_all(a).unwrap(), FieldData::I64(vec![5, 6, 7, 8]));
+        // Wrong type and wrong length are rejected.
+        assert!(m.write_all(a, FieldData::F64(vec![0.0; 4])).is_err());
+        assert!(m.write_all(a, FieldData::I64(vec![0; 3])).is_err());
+    }
+
+    #[test]
+    fn context_push_pop_counts() {
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("v", &[4]).unwrap();
+        let mask = m.alloc_bool(vp, "m").unwrap();
+        m.write_all(mask, FieldData::Bool(vec![true, false, true, false])).unwrap();
+        m.push_context(mask).unwrap();
+        assert_eq!(m.active_count(vp).unwrap(), 2);
+        assert!(m.any_active(vp).unwrap());
+        m.push_context_others(mask).unwrap();
+        assert_eq!(m.active_count(vp).unwrap(), 0);
+        m.pop_context(vp).unwrap();
+        m.pop_context(vp).unwrap();
+        assert_eq!(m.pop_context(vp), Err(CmError::ContextUnderflow));
+    }
+
+    #[test]
+    fn clock_advances_and_resets() {
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("v", &[4]).unwrap();
+        let a = m.alloc_int(vp, "a").unwrap();
+        assert_eq!(m.cycles(), 0);
+        m.read_all(a).unwrap();
+        assert!(m.cycles() > 0);
+        assert_eq!(m.counters().front_end, 1);
+        m.reset_clock();
+        assert_eq!(m.cycles(), 0);
+        assert_eq!(m.counters().total(), 0);
+    }
+
+    #[test]
+    fn cross_machine_ids_fail_cleanly() {
+        let mut m1 = Machine::with_defaults();
+        let _ = m1.new_vp_set("v", &[4]).unwrap();
+        let m2 = Machine::with_defaults();
+        assert!(m2.vp(VpSetId(0)).is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! NEWS-grid communication.
+//!
+//! The CM-2 arranges processors in a grid; each can exchange data with its
+//! North/East/West/South neighbours far more cheaply than through the
+//! general router. The simulator generalises this to any axis of the VP-set
+//! geometry and any constant offset (offset ±1 is one NEWS hop; larger
+//! offsets model repeated hops but are charged once — the UC compiler emits
+//! power-of-two shift chains itself where it matters).
+
+use crate::cost::OpClass;
+use crate::field::{FieldData, FieldId};
+use crate::machine::Machine;
+use crate::par;
+use crate::{CmError, Result, Scalar};
+
+/// What an off-grid fetch produces for non-toroidal shifts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Border {
+    /// Coordinates wrap around (toroidal grid).
+    Wrap,
+    /// Off-grid fetches yield this value.
+    Fill(Scalar),
+    /// Off-grid positions keep their previous destination value.
+    Keep,
+}
+
+impl Machine {
+    /// NEWS fetch: for every active VP `p`, `dst[p] = src[q]` where `q` is
+    /// the VP `offset` steps along `axis` from `p` (so `offset = +1` makes
+    /// `dst[i] = src[i+1]` along that axis).
+    ///
+    /// `dst` and `src` must live on the same VP set and share a type.
+    pub fn news_shift(
+        &mut self,
+        dst: FieldId,
+        src: FieldId,
+        axis: usize,
+        offset: i64,
+        border: Border,
+    ) -> Result<()> {
+        if dst.vp != src.vp {
+            return Err(CmError::VpSetMismatch);
+        }
+        let geom = self.vp(dst.vp)?.geom.clone();
+        geom.extent(axis)?; // validate axis
+        let size = geom.size();
+        let mask = self.vp(dst.vp)?.context.current().to_vec();
+
+        let dst_ty = self.field(dst)?.elem_type();
+        let src_ty = self.field(src)?.elem_type();
+        if dst_ty != src_ty {
+            return Err(CmError::TypeMismatch { expected: dst_ty, found: src_ty });
+        }
+        if let Border::Fill(s) = border {
+            if s.elem_type() != dst_ty {
+                return Err(CmError::TypeMismatch { expected: dst_ty, found: s.elem_type() });
+            }
+        }
+
+        // Precompute the source address for every destination VP. `None`
+        // means off-grid (resolved per the border policy).
+        let sources: Vec<Option<usize>> = par::map_index(size, |p| match border {
+            Border::Wrap => Some(geom.neighbor_wrap(p, axis, offset).expect("axis checked")),
+            _ => geom.neighbor(p, axis, offset).expect("axis checked"),
+        });
+
+        macro_rules! shift {
+            ($vec:ident, $variant:ident, $fill:expr) => {{
+                let src_vec = $vec.clone();
+                let dst_field = self.field_mut(dst)?;
+                let FieldData::$variant(d) = &mut dst_field.data else { unreachable!() };
+                for p in 0..size {
+                    if !mask[p] {
+                        continue;
+                    }
+                    match sources[p] {
+                        Some(q) => d[p] = src_vec[q],
+                        None => {
+                            if let Some(f) = $fill {
+                                d[p] = f;
+                            } // Border::Keep leaves d[p] alone
+                        }
+                    }
+                }
+            }};
+        }
+
+        match self.field(src)?.data.clone() {
+            FieldData::I64(v) => {
+                let fill = match border {
+                    Border::Fill(s) => Some(s.as_int()),
+                    _ => None,
+                };
+                shift!(v, I64, fill)
+            }
+            FieldData::F64(v) => {
+                let fill = match border {
+                    Border::Fill(s) => Some(s.as_float()),
+                    _ => None,
+                };
+                shift!(v, F64, fill)
+            }
+            FieldData::Bool(v) => {
+                let fill = match border {
+                    Border::Fill(s) => Some(s.as_bool()),
+                    _ => None,
+                };
+                shift!(v, Bool, fill)
+            }
+        }
+
+        self.tick(OpClass::News, size);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    fn line(n: usize) -> (Machine, FieldId, FieldId) {
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("v", &[n]).unwrap();
+        let a = m.alloc_int(vp, "a").unwrap();
+        let b = m.alloc_int(vp, "b").unwrap();
+        m.iota(a).unwrap();
+        (m, a, b)
+    }
+
+    #[test]
+    fn shift_right_fetches_left_neighbor() {
+        let (mut m, a, b) = line(4);
+        // b[i] = a[i-1], border filled with -1
+        m.news_shift(b, a, 0, -1, Border::Fill(Scalar::Int(-1))).unwrap();
+        assert_eq!(m.int_data(b).unwrap(), &[-1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn shift_left_fetches_right_neighbor() {
+        let (mut m, a, b) = line(4);
+        m.news_shift(b, a, 0, 1, Border::Fill(Scalar::Int(99))).unwrap();
+        assert_eq!(m.int_data(b).unwrap(), &[1, 2, 3, 99]);
+    }
+
+    #[test]
+    fn wrap_is_toroidal() {
+        let (mut m, a, b) = line(4);
+        m.news_shift(b, a, 0, 1, Border::Wrap).unwrap();
+        assert_eq!(m.int_data(b).unwrap(), &[1, 2, 3, 0]);
+        m.news_shift(b, a, 0, -1, Border::Wrap).unwrap();
+        assert_eq!(m.int_data(b).unwrap(), &[3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn keep_leaves_border_untouched() {
+        let (mut m, a, b) = line(3);
+        m.set_imm(b, Scalar::Int(7)).unwrap();
+        m.news_shift(b, a, 0, 1, Border::Keep).unwrap();
+        assert_eq!(m.int_data(b).unwrap(), &[1, 2, 7]);
+    }
+
+    #[test]
+    fn two_dimensional_axes() {
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("g", &[2, 3]).unwrap();
+        let a = m.alloc_int(vp, "a").unwrap();
+        let b = m.alloc_int(vp, "b").unwrap();
+        m.iota(a).unwrap(); // [0 1 2; 3 4 5]
+        m.news_shift(b, a, 0, 1, Border::Fill(Scalar::Int(0))).unwrap();
+        assert_eq!(m.int_data(b).unwrap(), &[3, 4, 5, 0, 0, 0]);
+        m.news_shift(b, a, 1, -1, Border::Fill(Scalar::Int(0))).unwrap();
+        assert_eq!(m.int_data(b).unwrap(), &[0, 0, 1, 0, 3, 4]);
+    }
+
+    #[test]
+    fn context_masks_news_writes() {
+        let (mut m, a, b) = line(4);
+        let vp = a.vp_set();
+        let mask = m.alloc_bool(vp, "m").unwrap();
+        m.write_all(mask, FieldData::Bool(vec![true, false, true, false])).unwrap();
+        m.set_imm(b, Scalar::Int(-7)).unwrap();
+        m.push_context(mask).unwrap();
+        m.news_shift(b, a, 0, 1, Border::Wrap).unwrap();
+        m.pop_context(vp).unwrap();
+        assert_eq!(m.int_data(b).unwrap(), &[1, -7, 3, -7]);
+    }
+
+    #[test]
+    fn errors() {
+        let (mut m, a, b) = line(4);
+        assert!(m.news_shift(b, a, 1, 1, Border::Wrap).is_err(), "bad axis");
+        let f = m.alloc_float(a.vp_set(), "f").unwrap();
+        assert!(m.news_shift(f, a, 0, 1, Border::Wrap).is_err(), "type mismatch");
+        assert!(
+            m.news_shift(f, a, 0, 1, Border::Fill(Scalar::Int(0))).is_err(),
+            "fill type mismatch"
+        );
+    }
+
+    #[test]
+    fn news_charges_news_class() {
+        let (mut m, a, b) = line(4);
+        let before = m.counters().news;
+        m.news_shift(b, a, 0, 1, Border::Wrap).unwrap();
+        assert_eq!(m.counters().news, before + 1);
+    }
+}

@@ -1,0 +1,733 @@
+//! Elementwise SIMD ALU operations.
+//!
+//! Every operation applies to all *active* VPs of one VP set (inactive VPs
+//! keep their old destination values) and charges the [`crate::cost`]
+//! model. Operands must live on the same VP set and have matching types;
+//! the UC executor inserts explicit [`Machine::convert`] ops where the
+//! language allows implicit coercion.
+
+use crate::cost::OpClass;
+use crate::field::{ElemType, FieldData, FieldId};
+use crate::machine::Machine;
+use crate::par;
+use crate::{CmError, Result, Scalar};
+
+/// Binary elementwise operations.
+///
+/// Arithmetic ops preserve the operand type; comparisons produce `Bool`;
+/// `LogAnd`/`LogOr`/`LogXor` operate on `Bool` fields (C truthiness is the
+/// executor's job). `Shl`/`Shr`/`BitAnd`/`BitOr`/`BitXor`/`Mod` are
+/// integer-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Min,
+    Max,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    LogAnd,
+    LogOr,
+    LogXor,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl BinOp {
+    /// Whether this op yields a `Bool` field regardless of operand type.
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    /// Whether this op is defined only on `Bool` operands.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::LogAnd | BinOp::LogOr | BinOp::LogXor)
+    }
+
+    /// Whether this op is defined only on `Int` operands.
+    pub fn int_only(self) -> bool {
+        matches!(
+            self,
+            BinOp::Mod | BinOp::BitAnd | BinOp::BitOr | BinOp::BitXor | BinOp::Shl | BinOp::Shr
+        )
+    }
+
+    /// Result element type for operands of type `ty`.
+    pub fn result_type(self, ty: ElemType) -> ElemType {
+        if self.is_comparison() {
+            ElemType::Bool
+        } else {
+            ty
+        }
+    }
+}
+
+/// Unary elementwise operations. `Not` is logical negation on `Bool`;
+/// `BitNot` is integer complement; `Neg`/`Abs` are numeric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    Neg,
+    Not,
+    BitNot,
+    Abs,
+}
+
+#[inline]
+fn int_binop(op: BinOp, a: i64, b: i64) -> i64 {
+    match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Div => a.wrapping_div(b),
+        BinOp::Mod => a.wrapping_rem(b),
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+        BinOp::BitAnd => a & b,
+        BinOp::BitOr => a | b,
+        BinOp::BitXor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32),
+        BinOp::Shr => a.wrapping_shr(b as u32),
+        _ => unreachable!("non-arithmetic op dispatched to int_binop"),
+    }
+}
+
+#[inline]
+fn float_binop(op: BinOp, a: f64, b: f64) -> f64 {
+    match op {
+        BinOp::Add => a + b,
+        BinOp::Sub => a - b,
+        BinOp::Mul => a * b,
+        BinOp::Div => a / b,
+        BinOp::Min => a.min(b),
+        BinOp::Max => a.max(b),
+        _ => unreachable!("non-float op dispatched to float_binop"),
+    }
+}
+
+#[inline]
+fn int_cmp(op: BinOp, a: i64, b: i64) -> bool {
+    match op {
+        BinOp::Eq => a == b,
+        BinOp::Ne => a != b,
+        BinOp::Lt => a < b,
+        BinOp::Le => a <= b,
+        BinOp::Gt => a > b,
+        BinOp::Ge => a >= b,
+        _ => unreachable!(),
+    }
+}
+
+#[inline]
+fn float_cmp(op: BinOp, a: f64, b: f64) -> bool {
+    match op {
+        BinOp::Eq => a == b,
+        BinOp::Ne => a != b,
+        BinOp::Lt => a < b,
+        BinOp::Le => a <= b,
+        BinOp::Gt => a > b,
+        BinOp::Ge => a >= b,
+        _ => unreachable!(),
+    }
+}
+
+/// SplitMix64, used for the machine's deterministic per-VP PRNG.
+#[inline]
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Machine {
+    fn same_vp(&self, ids: &[FieldId]) -> Result<usize> {
+        let vp = ids[0].vp;
+        for id in ids {
+            if id.vp != vp {
+                return Err(CmError::VpSetMismatch);
+            }
+        }
+        self.vp_size(vp)
+    }
+
+    fn mask_of(&self, id: FieldId) -> Result<Vec<bool>> {
+        Ok(self.vp(id.vp)?.context.current().to_vec())
+    }
+
+    fn commit(&mut self, dst: FieldId, out: FieldData, mask: &[bool]) -> Result<()> {
+        let field = self.field_mut(dst)?;
+        match (&mut field.data, out) {
+            (FieldData::I64(d), FieldData::I64(s)) => par::commit_masked(d, &s, mask),
+            (FieldData::F64(d), FieldData::F64(s)) => par::commit_masked(d, &s, mask),
+            (FieldData::Bool(d), FieldData::Bool(s)) => par::commit_masked(d, &s, mask),
+            (d, s) => {
+                return Err(CmError::TypeMismatch {
+                    expected: d.elem_type(),
+                    found: s.elem_type(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// `dst[i] = imm` for active `i`.
+    pub fn set_imm(&mut self, dst: FieldId, imm: Scalar) -> Result<()> {
+        let size = self.same_vp(&[dst])?;
+        let mask = self.mask_of(dst)?;
+        let out = match imm {
+            Scalar::Int(v) => FieldData::I64(vec![v; size]),
+            Scalar::Float(v) => FieldData::F64(vec![v; size]),
+            Scalar::Bool(v) => FieldData::Bool(vec![v; size]),
+        };
+        self.tick(OpClass::Alu, size);
+        self.commit(dst, out, &mask)
+    }
+
+    /// `dst[i] = src[i]` for active `i`. Types must match.
+    pub fn copy(&mut self, dst: FieldId, src: FieldId) -> Result<()> {
+        let size = self.same_vp(&[dst, src])?;
+        let mask = self.mask_of(dst)?;
+        let out = self.field(src)?.data.clone();
+        self.tick(OpClass::Alu, size);
+        self.commit(dst, out, &mask)
+    }
+
+    /// `dst[i] = (dst_type) src[i]` for active `i`: numeric conversion.
+    /// Int↔Float truncates toward zero; Bool↔numeric uses C truthiness.
+    pub fn convert(&mut self, dst: FieldId, src: FieldId) -> Result<()> {
+        let size = self.same_vp(&[dst, src])?;
+        let mask = self.mask_of(dst)?;
+        let dst_ty = self.field(dst)?.elem_type();
+        let out = match (&self.field(src)?.data, dst_ty) {
+            (FieldData::I64(v), ElemType::Float) => {
+                FieldData::F64(par::map1(v, |&x| x as f64))
+            }
+            (FieldData::I64(v), ElemType::Bool) => FieldData::Bool(par::map1(v, |&x| x != 0)),
+            (FieldData::F64(v), ElemType::Int) => FieldData::I64(par::map1(v, |&x| x as i64)),
+            (FieldData::F64(v), ElemType::Bool) => {
+                FieldData::Bool(par::map1(v, |&x| x != 0.0))
+            }
+            (FieldData::Bool(v), ElemType::Int) => FieldData::I64(par::map1(v, |&x| x as i64)),
+            (FieldData::Bool(v), ElemType::Float) => {
+                FieldData::F64(par::map1(v, |&x| (x as i64) as f64))
+            }
+            (same, _) if same.elem_type() == dst_ty => same.clone(),
+            (other, _) => {
+                return Err(CmError::TypeMismatch { expected: dst_ty, found: other.elem_type() })
+            }
+        };
+        self.tick(OpClass::Alu, size);
+        self.commit(dst, out, &mask)
+    }
+
+    /// Unary elementwise op.
+    pub fn unop(&mut self, op: UnOp, dst: FieldId, src: FieldId) -> Result<()> {
+        let size = self.same_vp(&[dst, src])?;
+        let mask = self.mask_of(dst)?;
+        let out = match (op, &self.field(src)?.data) {
+            (UnOp::Neg, FieldData::I64(v)) => FieldData::I64(par::map1(v, |&x| x.wrapping_neg())),
+            (UnOp::Neg, FieldData::F64(v)) => FieldData::F64(par::map1(v, |&x| -x)),
+            (UnOp::Abs, FieldData::I64(v)) => FieldData::I64(par::map1(v, |&x| x.abs())),
+            (UnOp::Abs, FieldData::F64(v)) => FieldData::F64(par::map1(v, |&x| x.abs())),
+            (UnOp::Not, FieldData::Bool(v)) => FieldData::Bool(par::map1(v, |&x| !x)),
+            (UnOp::BitNot, FieldData::I64(v)) => FieldData::I64(par::map1(v, |&x| !x)),
+            (_, d) => {
+                return Err(CmError::TypeMismatch {
+                    expected: ElemType::Int,
+                    found: d.elem_type(),
+                })
+            }
+        };
+        self.tick(OpClass::Alu, size);
+        self.commit(dst, out, &mask)
+    }
+
+    /// Binary elementwise op: `dst[i] = a[i] op b[i]` for active `i`.
+    pub fn binop(&mut self, op: BinOp, dst: FieldId, a: FieldId, b: FieldId) -> Result<()> {
+        let size = self.same_vp(&[dst, a, b])?;
+        let mask = self.mask_of(dst)?;
+        let out = self.eval_binop(op, a, b, &mask)?;
+        self.tick(OpClass::Alu, size);
+        self.commit(dst, out, &mask)
+    }
+
+    fn eval_binop(&self, op: BinOp, a: FieldId, b: FieldId, mask: &[bool]) -> Result<FieldData> {
+        let fa = &self.field(a)?.data;
+        let fb = &self.field(b)?.data;
+        match (fa, fb) {
+            (FieldData::I64(x), FieldData::I64(y)) => {
+                if op.is_comparison() {
+                    Ok(FieldData::Bool(par::map2(x, y, |&p, &q| int_cmp(op, p, q))))
+                } else if op.is_logical() {
+                    Err(CmError::TypeMismatch { expected: ElemType::Bool, found: ElemType::Int })
+                } else {
+                    if matches!(op, BinOp::Div | BinOp::Mod)
+                        && x.iter().zip(y).zip(mask).any(|((_, &q), &m)| m && q == 0)
+                    {
+                        return Err(CmError::DivideByZero);
+                    }
+                    // Inactive positions may hold zero divisors; compute a
+                    // harmless value there (it is masked out on commit).
+                    if matches!(op, BinOp::Div | BinOp::Mod) {
+                        Ok(FieldData::I64(par::map2(x, y, |&p, &q| {
+                            if q == 0 {
+                                0
+                            } else {
+                                int_binop(op, p, q)
+                            }
+                        })))
+                    } else {
+                        Ok(FieldData::I64(par::map2(x, y, |&p, &q| int_binop(op, p, q))))
+                    }
+                }
+            }
+            (FieldData::F64(x), FieldData::F64(y)) => {
+                if op.is_comparison() {
+                    Ok(FieldData::Bool(par::map2(x, y, |&p, &q| float_cmp(op, p, q))))
+                } else if op.is_logical() || op.int_only() {
+                    Err(CmError::Unsupported("integer/logical op on float field"))
+                } else {
+                    Ok(FieldData::F64(par::map2(x, y, |&p, &q| float_binop(op, p, q))))
+                }
+            }
+            (FieldData::Bool(x), FieldData::Bool(y)) => match op {
+                BinOp::LogAnd => Ok(FieldData::Bool(par::map2(x, y, |&p, &q| p && q))),
+                BinOp::LogOr => Ok(FieldData::Bool(par::map2(x, y, |&p, &q| p || q))),
+                BinOp::LogXor => Ok(FieldData::Bool(par::map2(x, y, |&p, &q| p ^ q))),
+                BinOp::Eq => Ok(FieldData::Bool(par::map2(x, y, |&p, &q| p == q))),
+                BinOp::Ne => Ok(FieldData::Bool(par::map2(x, y, |&p, &q| p != q))),
+                _ => Err(CmError::Unsupported("arithmetic on bool field")),
+            },
+            (x, y) => {
+                Err(CmError::TypeMismatch { expected: x.elem_type(), found: y.elem_type() })
+            }
+        }
+    }
+
+    /// `dst[i] = a[i] op imm` for active `i`.
+    pub fn binop_imm(&mut self, op: BinOp, dst: FieldId, a: FieldId, imm: Scalar) -> Result<()> {
+        let tmp = self.alloc(a.vp, "~imm", imm.elem_type())?;
+        // Immediate broadcast must reach inactive positions too (they are
+        // masked on commit, but divisor checks etc. see the value).
+        self.fill_unconditional(tmp, imm)?;
+        let r = self.binop(op, dst, a, tmp);
+        self.free(tmp)?;
+        r
+    }
+
+    /// `dst[i] = imm op b[i]` for active `i` (immediate on the left, for
+    /// non-commutative ops).
+    pub fn binop_imm_l(&mut self, op: BinOp, dst: FieldId, imm: Scalar, b: FieldId) -> Result<()> {
+        let tmp = self.alloc(b.vp, "~imm", imm.elem_type())?;
+        self.fill_unconditional(tmp, imm)?;
+        let r = self.binop(op, dst, tmp, b);
+        self.free(tmp)?;
+        r
+    }
+
+    /// Copy a field everywhere, ignoring the context mask. Used by the
+    /// executor to snapshot state for fixed-point detection (`*solve`),
+    /// where router scatters may have written outside the current mask.
+    pub fn copy_unconditional(&mut self, dst: FieldId, src: FieldId) -> Result<()> {
+        let size = self.same_vp(&[dst, src])?;
+        let data = self.field(src)?.data.clone();
+        let dst_field = self.field_mut(dst)?;
+        if dst_field.data.elem_type() != data.elem_type() {
+            return Err(CmError::TypeMismatch {
+                expected: dst_field.data.elem_type(),
+                found: data.elem_type(),
+            });
+        }
+        dst_field.data = data;
+        self.tick(OpClass::Alu, size);
+        Ok(())
+    }
+
+    /// Global test: do `a` and `b` differ anywhere (regardless of the
+    /// context mask)? A combine-tree operation, charged as a scan.
+    pub fn any_ne(&mut self, a: FieldId, b: FieldId) -> Result<bool> {
+        let size = self.same_vp(&[a, b])?;
+        let fa = &self.field(a)?.data;
+        let fb = &self.field(b)?.data;
+        let ne = match (fa, fb) {
+            (FieldData::I64(x), FieldData::I64(y)) => x != y,
+            (FieldData::F64(x), FieldData::F64(y)) => x != y,
+            (FieldData::Bool(x), FieldData::Bool(y)) => x != y,
+            (x, y) => {
+                return Err(CmError::TypeMismatch {
+                    expected: x.elem_type(),
+                    found: y.elem_type(),
+                })
+            }
+        };
+        self.tick(OpClass::Scan, size);
+        Ok(ne)
+    }
+
+    /// Fill a field everywhere, ignoring the context mask (front-end
+    /// broadcast used for immediates and initialisation).
+    pub fn fill_unconditional(&mut self, dst: FieldId, imm: Scalar) -> Result<()> {
+        let size = self.same_vp(&[dst])?;
+        let field = self.field_mut(dst)?;
+        match (&mut field.data, imm) {
+            (FieldData::I64(v), Scalar::Int(x)) => v.iter_mut().for_each(|e| *e = x),
+            (FieldData::F64(v), Scalar::Float(x)) => v.iter_mut().for_each(|e| *e = x),
+            (FieldData::Bool(v), Scalar::Bool(x)) => v.iter_mut().for_each(|e| *e = x),
+            (d, s) => {
+                return Err(CmError::TypeMismatch {
+                    expected: d.elem_type(),
+                    found: s.elem_type(),
+                })
+            }
+        }
+        self.tick(OpClass::Alu, size);
+        Ok(())
+    }
+
+    /// `dst[i] = cond[i] ? a[i] : b[i]` for active `i`.
+    pub fn select(&mut self, dst: FieldId, cond: FieldId, a: FieldId, b: FieldId) -> Result<()> {
+        let size = self.same_vp(&[dst, cond, a, b])?;
+        let mask = self.mask_of(dst)?;
+        let c = self.bool_data(cond)?.to_vec();
+        let fa = &self.field(a)?.data;
+        let fb = &self.field(b)?.data;
+        let out = match (fa, fb) {
+            (FieldData::I64(x), FieldData::I64(y)) => {
+                FieldData::I64(par::map3(x, y, &c, |&p, &q, &m| if m { p } else { q }))
+            }
+            (FieldData::F64(x), FieldData::F64(y)) => {
+                FieldData::F64(par::map3(x, y, &c, |&p, &q, &m| if m { p } else { q }))
+            }
+            (FieldData::Bool(x), FieldData::Bool(y)) => {
+                FieldData::Bool(par::map3(x, y, &c, |&p, &q, &m| if m { p } else { q }))
+            }
+            (x, y) => {
+                return Err(CmError::TypeMismatch { expected: x.elem_type(), found: y.elem_type() })
+            }
+        };
+        self.tick(OpClass::Alu, size);
+        self.commit(dst, out, &mask)
+    }
+
+    /// `dst[i] = i` (the VP's send address) for active `i`. `dst` must be Int.
+    pub fn iota(&mut self, dst: FieldId) -> Result<()> {
+        let size = self.same_vp(&[dst])?;
+        let mask = self.mask_of(dst)?;
+        self.int_data(dst)?; // type check
+        let out = FieldData::I64(par::map_index(size, |i| i as i64));
+        self.tick(OpClass::Alu, size);
+        self.commit(dst, out, &mask)
+    }
+
+    /// `dst[i] = coordinate of VP i along axis` for active `i`.
+    ///
+    /// This is how index-set elements (`i`, `j`, ...) materialise on the
+    /// machine: a par over `(I, J)` creates a 2-D VP set and each element
+    /// identifier is the self-coordinate along one axis.
+    pub fn axis_coord(&mut self, dst: FieldId, axis: usize) -> Result<()> {
+        let size = self.same_vp(&[dst])?;
+        let mask = self.mask_of(dst)?;
+        self.int_data(dst)?;
+        let geom = self.vp(dst.vp)?.geom.clone();
+        geom.extent(axis)?;
+        let out = FieldData::I64(par::map_index(size, |i| {
+            geom.axis_coordinate(i, axis).expect("axis checked") as i64
+        }));
+        self.tick(OpClass::Alu, size);
+        self.commit(dst, out, &mask)
+    }
+
+    /// `dst[i] = uniform random in [0, modulus)` for active `i`,
+    /// deterministic in `(seed, i)`. Models the per-processor `rand()` of
+    /// the paper's benchmark initialisation.
+    pub fn rand_int(&mut self, dst: FieldId, modulus: i64, seed: u64) -> Result<()> {
+        if modulus <= 0 {
+            return Err(CmError::DivideByZero);
+        }
+        let size = self.same_vp(&[dst])?;
+        let mask = self.mask_of(dst)?;
+        self.int_data(dst)?;
+        let out = FieldData::I64(par::map_index(size, |i| {
+            (splitmix64(seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407)) % modulus as u64)
+                as i64
+        }));
+        self.tick(OpClass::Alu, size);
+        self.commit(dst, out, &mask)
+    }
+
+    /// Materialise the current activity mask of `dst`'s VP set into `dst`
+    /// (a bool field), writing **unconditionally**. This is how nested
+    /// constructs transfer their enabled set onto an extended VP set.
+    pub fn read_context(&mut self, dst: FieldId) -> Result<()> {
+        let size = self.same_vp(&[dst])?;
+        self.bool_data(dst)?; // type check
+        let mask = self.vp(dst.vp)?.context.current().to_vec();
+        let field = self.field_mut(dst)?;
+        let FieldData::Bool(d) = &mut field.data else { unreachable!() };
+        d.copy_from_slice(&mask);
+        self.tick(OpClass::Context, size);
+        Ok(())
+    }
+
+    /// Front-end read of one element (ignores the context mask).
+    pub fn read_elem(&mut self, id: FieldId, index: usize) -> Result<Scalar> {
+        let size = self.vp_size(id.vp)?;
+        if index >= size {
+            return Err(CmError::IndexOutOfRange { index, size });
+        }
+        self.tick(OpClass::FrontEnd, 1);
+        Ok(match &self.field(id)?.data {
+            FieldData::I64(v) => Scalar::Int(v[index]),
+            FieldData::F64(v) => Scalar::Float(v[index]),
+            FieldData::Bool(v) => Scalar::Bool(v[index]),
+        })
+    }
+
+    /// Front-end write of one element (ignores the context mask).
+    pub fn write_elem(&mut self, id: FieldId, index: usize, value: Scalar) -> Result<()> {
+        let size = self.vp_size(id.vp)?;
+        if index >= size {
+            return Err(CmError::IndexOutOfRange { index, size });
+        }
+        self.tick(OpClass::FrontEnd, 1);
+        let field = self.field_mut(id)?;
+        match (&mut field.data, value) {
+            (FieldData::I64(v), Scalar::Int(x)) => v[index] = x,
+            (FieldData::F64(v), Scalar::Float(x)) => v[index] = x,
+            (FieldData::Bool(v), Scalar::Bool(x)) => v[index] = x,
+            (d, s) => {
+                return Err(CmError::TypeMismatch {
+                    expected: d.elem_type(),
+                    found: s.elem_type(),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+
+    fn setup(n: usize) -> (Machine, crate::machine::VpSetId) {
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("v", &[n]).unwrap();
+        (m, vp)
+    }
+
+    #[test]
+    fn imm_copy_convert() {
+        let (mut m, vp) = setup(4);
+        let a = m.alloc_int(vp, "a").unwrap();
+        let b = m.alloc_float(vp, "b").unwrap();
+        m.set_imm(a, Scalar::Int(7)).unwrap();
+        assert_eq!(m.read_elem(a, 2).unwrap(), Scalar::Int(7));
+        m.convert(b, a).unwrap();
+        assert_eq!(m.read_elem(b, 0).unwrap(), Scalar::Float(7.0));
+        let c = m.alloc_int(vp, "c").unwrap();
+        m.copy(c, a).unwrap();
+        assert_eq!(m.read_elem(c, 3).unwrap(), Scalar::Int(7));
+        assert!(m.copy(c, b).is_err(), "copy requires matching types");
+    }
+
+    #[test]
+    fn binops_int() {
+        let (mut m, vp) = setup(4);
+        let a = m.alloc_int(vp, "a").unwrap();
+        let b = m.alloc_int(vp, "b").unwrap();
+        let d = m.alloc_int(vp, "d").unwrap();
+        m.iota(a).unwrap(); // 0 1 2 3
+        m.set_imm(b, Scalar::Int(3)).unwrap();
+        m.binop(BinOp::Add, d, a, b).unwrap();
+        assert_eq!(m.int_data(d).unwrap(), &[3, 4, 5, 6]);
+        m.binop(BinOp::Mul, d, a, a).unwrap();
+        assert_eq!(m.int_data(d).unwrap(), &[0, 1, 4, 9]);
+        m.binop(BinOp::Max, d, a, b).unwrap();
+        assert_eq!(m.int_data(d).unwrap(), &[3, 3, 3, 3]);
+        m.binop(BinOp::Min, d, a, b).unwrap();
+        assert_eq!(m.int_data(d).unwrap(), &[0, 1, 2, 3]);
+        m.binop_imm(BinOp::Mod, d, a, Scalar::Int(2)).unwrap();
+        assert_eq!(m.int_data(d).unwrap(), &[0, 1, 0, 1]);
+        m.binop_imm_l(BinOp::Sub, d, Scalar::Int(10), a).unwrap();
+        assert_eq!(m.int_data(d).unwrap(), &[10, 9, 8, 7]);
+    }
+
+    #[test]
+    fn comparisons_produce_bool() {
+        let (mut m, vp) = setup(4);
+        let a = m.alloc_int(vp, "a").unwrap();
+        let t = m.alloc_bool(vp, "t").unwrap();
+        m.iota(a).unwrap();
+        m.binop_imm(BinOp::Lt, t, a, Scalar::Int(2)).unwrap();
+        assert_eq!(m.bool_data(t).unwrap(), &[true, true, false, false]);
+        m.binop_imm(BinOp::Eq, t, a, Scalar::Int(3)).unwrap();
+        assert_eq!(m.bool_data(t).unwrap(), &[false, false, false, true]);
+    }
+
+    #[test]
+    fn division_by_zero_only_if_active() {
+        let (mut m, vp) = setup(4);
+        let a = m.alloc_int(vp, "a").unwrap();
+        let b = m.alloc_int(vp, "b").unwrap();
+        let d = m.alloc_int(vp, "d").unwrap();
+        m.set_imm(a, Scalar::Int(8)).unwrap();
+        m.iota(b).unwrap(); // b[0] = 0
+        assert_eq!(m.binop(BinOp::Div, d, a, b), Err(CmError::DivideByZero));
+        // Deactivate VP 0 and retry: now fine.
+        let nz = m.alloc_bool(vp, "nz").unwrap();
+        m.binop_imm(BinOp::Ne, nz, b, Scalar::Int(0)).unwrap();
+        m.push_context(nz).unwrap();
+        m.binop(BinOp::Div, d, a, b).unwrap();
+        m.pop_context(vp).unwrap();
+        assert_eq!(m.int_data(d).unwrap(), &[0, 8, 4, 2]); // d[0] untouched
+    }
+
+    #[test]
+    fn context_masks_writes() {
+        let (mut m, vp) = setup(4);
+        let a = m.alloc_int(vp, "a").unwrap();
+        let mask = m.alloc_bool(vp, "m").unwrap();
+        m.set_imm(a, Scalar::Int(1)).unwrap();
+        m.write_all(mask, FieldData::Bool(vec![true, false, true, false])).unwrap();
+        m.push_context(mask).unwrap();
+        m.set_imm(a, Scalar::Int(9)).unwrap();
+        m.pop_context(vp).unwrap();
+        assert_eq!(m.int_data(a).unwrap(), &[9, 1, 9, 1]);
+    }
+
+    #[test]
+    fn select_and_unops() {
+        let (mut m, vp) = setup(4);
+        let a = m.alloc_int(vp, "a").unwrap();
+        let b = m.alloc_int(vp, "b").unwrap();
+        let c = m.alloc_bool(vp, "c").unwrap();
+        let d = m.alloc_int(vp, "d").unwrap();
+        m.iota(a).unwrap();
+        m.binop_imm_l(BinOp::Sub, b, Scalar::Int(0), a).unwrap(); // b = -a
+        m.binop_imm(BinOp::Ge, c, a, Scalar::Int(2)).unwrap();
+        m.select(d, c, a, b).unwrap();
+        assert_eq!(m.int_data(d).unwrap(), &[0, -1, 2, 3]);
+        m.unop(UnOp::Neg, d, d).unwrap();
+        assert_eq!(m.int_data(d).unwrap(), &[0, 1, -2, -3]);
+        m.unop(UnOp::Abs, d, d).unwrap();
+        assert_eq!(m.int_data(d).unwrap(), &[0, 1, 2, 3]);
+        m.unop(UnOp::Not, c, c).unwrap();
+        assert_eq!(m.bool_data(c).unwrap(), &[true, true, false, false]);
+    }
+
+    #[test]
+    fn axis_coordinates() {
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("g", &[2, 3]).unwrap();
+        let i = m.alloc_int(vp, "i").unwrap();
+        let j = m.alloc_int(vp, "j").unwrap();
+        m.axis_coord(i, 0).unwrap();
+        m.axis_coord(j, 1).unwrap();
+        assert_eq!(m.int_data(i).unwrap(), &[0, 0, 0, 1, 1, 1]);
+        assert_eq!(m.int_data(j).unwrap(), &[0, 1, 2, 0, 1, 2]);
+        assert!(m.axis_coord(i, 2).is_err());
+    }
+
+    #[test]
+    fn rand_is_deterministic_and_bounded() {
+        let (mut m, vp) = setup(64);
+        let a = m.alloc_int(vp, "a").unwrap();
+        let b = m.alloc_int(vp, "b").unwrap();
+        m.rand_int(a, 10, 42).unwrap();
+        m.rand_int(b, 10, 42).unwrap();
+        assert_eq!(m.int_data(a).unwrap(), m.int_data(b).unwrap());
+        assert!(m.int_data(a).unwrap().iter().all(|&x| (0..10).contains(&x)));
+        m.rand_int(b, 10, 43).unwrap();
+        assert_ne!(m.int_data(a).unwrap(), m.int_data(b).unwrap());
+        assert!(m.rand_int(a, 0, 1).is_err());
+    }
+
+    #[test]
+    fn elem_access_bounds() {
+        let (mut m, vp) = setup(2);
+        let a = m.alloc_int(vp, "a").unwrap();
+        m.write_elem(a, 1, Scalar::Int(5)).unwrap();
+        assert_eq!(m.read_elem(a, 1).unwrap(), Scalar::Int(5));
+        assert!(matches!(m.read_elem(a, 2), Err(CmError::IndexOutOfRange { .. })));
+        assert!(m.write_elem(a, 0, Scalar::Float(1.0)).is_err());
+    }
+
+    #[test]
+    fn read_context_materialises_mask() {
+        let (mut m, vp) = setup(4);
+        let mask = m.alloc_bool(vp, "m").unwrap();
+        let out = m.alloc_bool(vp, "out").unwrap();
+        m.write_all(mask, FieldData::Bool(vec![true, false, true, false])).unwrap();
+        m.push_context(mask).unwrap();
+        m.read_context(out).unwrap();
+        m.pop_context(vp).unwrap();
+        assert_eq!(m.bool_data(out).unwrap(), &[true, false, true, false]);
+        // At base context it reads all-true, even though `out` was
+        // partially masked before (read_context writes unconditionally).
+        m.read_context(out).unwrap();
+        assert_eq!(m.bool_data(out).unwrap(), &[true; 4]);
+    }
+
+    #[test]
+    fn copy_unconditional_ignores_mask() {
+        let (mut m, vp) = setup(4);
+        let a = m.alloc_int(vp, "a").unwrap();
+        let b = m.alloc_int(vp, "b").unwrap();
+        let none = m.alloc_bool(vp, "none").unwrap(); // all false
+        m.iota(a).unwrap();
+        m.push_context(none).unwrap();
+        m.copy(b, a).unwrap(); // masked: no effect
+        assert_eq!(m.int_data(b).unwrap(), &[0; 4]);
+        m.copy_unconditional(b, a).unwrap();
+        assert_eq!(m.int_data(b).unwrap(), &[0, 1, 2, 3]);
+        m.pop_context(vp).unwrap();
+        let f = m.alloc_float(vp, "f").unwrap();
+        assert!(m.copy_unconditional(f, a).is_err());
+    }
+
+    #[test]
+    fn any_ne_global_test() {
+        let (mut m, vp) = setup(3);
+        let a = m.alloc_int(vp, "a").unwrap();
+        let b = m.alloc_int(vp, "b").unwrap();
+        assert!(!m.any_ne(a, b).unwrap());
+        m.write_elem(b, 2, Scalar::Int(9)).unwrap();
+        assert!(m.any_ne(a, b).unwrap());
+        // Ignores the context mask by design (fixed-point detection).
+        let none = m.alloc_bool(vp, "none").unwrap();
+        m.push_context(none).unwrap();
+        assert!(m.any_ne(a, b).unwrap());
+        m.pop_context(vp).unwrap();
+        let f = m.alloc_float(vp, "f").unwrap();
+        assert!(m.any_ne(a, f).is_err());
+    }
+
+    #[test]
+    fn logical_ops_on_bool_only() {
+        let (mut m, vp) = setup(2);
+        let a = m.alloc_int(vp, "a").unwrap();
+        let t = m.alloc_bool(vp, "t").unwrap();
+        let u = m.alloc_bool(vp, "u").unwrap();
+        assert!(m.binop(BinOp::LogAnd, a, a, a).is_err());
+        m.write_all(t, FieldData::Bool(vec![true, false])).unwrap();
+        m.write_all(u, FieldData::Bool(vec![true, true])).unwrap();
+        let r = m.alloc_bool(vp, "r").unwrap();
+        m.binop(BinOp::LogAnd, r, t, u).unwrap();
+        assert_eq!(m.bool_data(r).unwrap(), &[true, false]);
+        m.binop(BinOp::LogXor, r, t, u).unwrap();
+        assert_eq!(m.bool_data(r).unwrap(), &[false, true]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Host-side data-parallel kernels.
+//!
+//! The simulator executes elementwise SIMD instructions with rayon when the
+//! VP set is large enough to amortise fork/join overhead, and sequentially
+//! otherwise. Every kernel is a pure elementwise map, so the results (and
+//! the cycle clock, which is charged *before* execution) are identical for
+//! any thread count — simulations stay deterministic.
+
+use rayon::prelude::*;
+
+/// Below this many elements the sequential path is used.
+pub const PAR_THRESHOLD: usize = 1 << 13;
+
+/// Elementwise map of one slice.
+pub fn map1<A, O, F>(a: &[A], f: F) -> Vec<O>
+where
+    A: Sync,
+    O: Send,
+    F: Fn(&A) -> O + Sync + Send,
+{
+    if a.len() >= PAR_THRESHOLD {
+        a.par_iter().map(&f).collect()
+    } else {
+        a.iter().map(&f).collect()
+    }
+}
+
+/// Elementwise map of two equal-length slices.
+///
+/// Panics if lengths differ; the machine validates shapes before calling.
+pub fn map2<A, B, O, F>(a: &[A], b: &[B], f: F) -> Vec<O>
+where
+    A: Sync,
+    B: Sync,
+    O: Send,
+    F: Fn(&A, &B) -> O + Sync + Send,
+{
+    assert_eq!(a.len(), b.len(), "map2 length mismatch");
+    if a.len() >= PAR_THRESHOLD {
+        a.par_iter().zip(b.par_iter()).map(|(x, y)| f(x, y)).collect()
+    } else {
+        a.iter().zip(b.iter()).map(|(x, y)| f(x, y)).collect()
+    }
+}
+
+/// Elementwise map of three equal-length slices.
+pub fn map3<A, B, C, O, F>(a: &[A], b: &[B], c: &[C], f: F) -> Vec<O>
+where
+    A: Sync,
+    B: Sync,
+    C: Sync,
+    O: Send,
+    F: Fn(&A, &B, &C) -> O + Sync + Send,
+{
+    assert_eq!(a.len(), b.len(), "map3 length mismatch");
+    assert_eq!(a.len(), c.len(), "map3 length mismatch");
+    if a.len() >= PAR_THRESHOLD {
+        a.par_iter()
+            .zip(b.par_iter())
+            .zip(c.par_iter())
+            .map(|((x, y), z)| f(x, y, z))
+            .collect()
+    } else {
+        a.iter()
+            .zip(b.iter())
+            .zip(c.iter())
+            .map(|((x, y), z)| f(x, y, z))
+            .collect()
+    }
+}
+
+/// Indexed elementwise map: `out[i] = f(i)`.
+pub fn map_index<O, F>(len: usize, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync + Send,
+{
+    if len >= PAR_THRESHOLD {
+        (0..len).into_par_iter().map(&f).collect()
+    } else {
+        (0..len).map(&f).collect()
+    }
+}
+
+/// Masked in-place commit: `dst[i] = src[i]` wherever `mask[i]`.
+pub fn commit_masked<T: Copy + Send + Sync>(dst: &mut [T], src: &[T], mask: &[bool]) {
+    assert_eq!(dst.len(), src.len(), "commit length mismatch");
+    assert_eq!(dst.len(), mask.len(), "commit mask length mismatch");
+    if dst.len() >= PAR_THRESHOLD {
+        dst.par_iter_mut()
+            .zip(src.par_iter())
+            .zip(mask.par_iter())
+            .for_each(|((d, s), &m)| {
+                if m {
+                    *d = *s;
+                }
+            });
+    } else {
+        for ((d, s), &m) in dst.iter_mut().zip(src).zip(mask) {
+            if m {
+                *d = *s;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map1_small_and_large() {
+        let small: Vec<i64> = (0..100).collect();
+        assert_eq!(map1(&small, |&x| x + 1)[99], 100);
+        let large: Vec<i64> = (0..(PAR_THRESHOLD as i64 + 5)).collect();
+        let out = map1(&large, |&x| x * 2);
+        assert_eq!(out.len(), large.len());
+        assert_eq!(out[PAR_THRESHOLD], 2 * PAR_THRESHOLD as i64);
+    }
+
+    #[test]
+    fn map2_and_map3() {
+        let a = vec![1i64, 2, 3];
+        let b = vec![10i64, 20, 30];
+        let c = vec![true, false, true];
+        assert_eq!(map2(&a, &b, |x, y| x + y), vec![11, 22, 33]);
+        assert_eq!(map3(&a, &b, &c, |x, y, &m| if m { *x } else { *y }), vec![1, 20, 3]);
+    }
+
+    #[test]
+    fn map_index_identity() {
+        assert_eq!(map_index(4, |i| i as i64), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn commit_respects_mask() {
+        let mut d = vec![0i64; 4];
+        commit_masked(&mut d, &[1, 2, 3, 4], &[true, false, true, false]);
+        assert_eq!(d, vec![1, 0, 3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn map2_length_mismatch_panics() {
+        map2(&[1], &[1, 2], |a: &i32, b: &i32| a + b);
+    }
+}

@@ -1,0 +1,367 @@
+//! Global reductions and parallel-prefix scans.
+//!
+//! The CM-2 had hardware support for reductions ("global" operations) and
+//! scans along the NEWS ordering. UC's reduction operator `$op(...)`
+//! bottoms out here. Reductions are computed over the *active* VPs only,
+//! and return the operator's identity when no VP is active — exactly the
+//! paper's rule ("the identity value is returned when the reduction
+//! operator is applied to an empty set of operands").
+
+use crate::cost::OpClass;
+use crate::field::{ElemType, FieldData, FieldId};
+use crate::machine::Machine;
+use crate::{CmError, Result, Scalar};
+
+/// The UC reduction operators of §3.2 of the paper.
+///
+/// `And`/`Or`/`Xor` are *logical* (the paper's `&&`, `||`, `^` reductions):
+/// on integer fields they treat operands as C truth values and yield 0/1.
+/// `Arb` is the paper's `$,` — "value of an arbitrary operand"; this
+/// simulator deterministically picks the lowest-addressed active operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    Add,
+    Mul,
+    Min,
+    Max,
+    And,
+    Or,
+    Xor,
+    Arb,
+}
+
+/// The paper's predefined `INF` constant for integer reductions.
+pub const INT_INF: i64 = i64::MAX;
+/// Negative infinity for integer max-reductions.
+pub const INT_NEG_INF: i64 = i64::MIN;
+
+impl ReduceOp {
+    /// Identity value of the operator for a given element type
+    /// (the paper's table in §3.2).
+    pub fn identity(self, ty: ElemType) -> Scalar {
+        match (self, ty) {
+            (ReduceOp::Add, ElemType::Int) => Scalar::Int(0),
+            (ReduceOp::Add, ElemType::Float) => Scalar::Float(0.0),
+            (ReduceOp::Mul, ElemType::Int) => Scalar::Int(1),
+            (ReduceOp::Mul, ElemType::Float) => Scalar::Float(1.0),
+            (ReduceOp::Min, ElemType::Int) => Scalar::Int(INT_INF),
+            (ReduceOp::Min, ElemType::Float) => Scalar::Float(f64::INFINITY),
+            (ReduceOp::Max, ElemType::Int) => Scalar::Int(INT_NEG_INF),
+            (ReduceOp::Max, ElemType::Float) => Scalar::Float(f64::NEG_INFINITY),
+            (ReduceOp::And, ElemType::Int) => Scalar::Int(1),
+            (ReduceOp::Or, ElemType::Int) => Scalar::Int(0),
+            (ReduceOp::Xor, ElemType::Int) => Scalar::Int(0),
+            (ReduceOp::And, _) => Scalar::Bool(true),
+            (ReduceOp::Or, _) => Scalar::Bool(false),
+            (ReduceOp::Xor, _) => Scalar::Bool(false),
+            (ReduceOp::Arb, ElemType::Int) => Scalar::Int(INT_INF),
+            (ReduceOp::Arb, ElemType::Float) => Scalar::Float(f64::INFINITY),
+            (_, ElemType::Bool) => Scalar::Bool(false),
+        }
+    }
+}
+
+impl Machine {
+    /// Reduce the active elements of `src` with `op`, returning a
+    /// front-end scalar. Empty active set ⇒ the operator identity.
+    pub fn reduce(&mut self, src: FieldId, op: ReduceOp) -> Result<Scalar> {
+        let size = self.vp_size(src.vp)?;
+        let mask = self.vp(src.vp)?.context.current().to_vec();
+        let result = match &self.field(src)?.data {
+            FieldData::I64(v) => reduce_int(v, &mask, op),
+            FieldData::F64(v) => reduce_float(v, &mask, op)?,
+            FieldData::Bool(v) => reduce_bool(v, &mask, op)?,
+        };
+        self.tick(OpClass::Scan, size);
+        Ok(result)
+    }
+
+    /// Reduce then broadcast into `dst` (under `dst`'s context). `dst` may
+    /// live on a different VP set than `src`.
+    pub fn reduce_spread(&mut self, dst: FieldId, src: FieldId, op: ReduceOp) -> Result<()> {
+        let s = self.reduce(src, op)?;
+        let dst_ty = self.field(dst)?.elem_type();
+        let coerced = match dst_ty {
+            ElemType::Int => Scalar::Int(s.as_int()),
+            ElemType::Float => Scalar::Float(s.as_float()),
+            ElemType::Bool => Scalar::Bool(s.as_bool()),
+        };
+        self.set_imm(dst, coerced)
+    }
+
+    /// Prefix scan in send-address order over the **active** elements of
+    /// `src`: inactive positions neither contribute nor receive. With
+    /// `inclusive = false` each active element receives the fold of the
+    /// active elements strictly before it (identity for the first).
+    ///
+    /// `segments`, if given, is a bool field whose `true` bits restart the
+    /// scan (segmented scan, a CM-2 hardware primitive).
+    pub fn scan(
+        &mut self,
+        dst: FieldId,
+        src: FieldId,
+        op: ReduceOp,
+        inclusive: bool,
+        segments: Option<FieldId>,
+    ) -> Result<()> {
+        if dst.vp != src.vp {
+            return Err(CmError::VpSetMismatch);
+        }
+        let size = self.vp_size(src.vp)?;
+        let dst_ty = self.field(dst)?.elem_type();
+        let src_ty = self.field(src)?.elem_type();
+        if dst_ty != src_ty {
+            return Err(CmError::TypeMismatch { expected: dst_ty, found: src_ty });
+        }
+        let mask = self.vp(src.vp)?.context.current().to_vec();
+        let segs: Option<Vec<bool>> = match segments {
+            Some(s) => {
+                if s.vp != src.vp {
+                    return Err(CmError::VpSetMismatch);
+                }
+                Some(self.bool_data(s)?.to_vec())
+            }
+            None => None,
+        };
+
+        macro_rules! scan_impl {
+            ($vec:expr, $variant:ident, $id:expr, $fold:expr) => {{
+                let v = $vec.clone();
+                let mut out = v.clone();
+                let mut acc = $id;
+                for i in 0..size {
+                    if let Some(ref sg) = segs {
+                        if sg[i] {
+                            acc = $id;
+                        }
+                    }
+                    if mask[i] {
+                        if inclusive {
+                            acc = $fold(acc, v[i]);
+                            out[i] = acc;
+                        } else {
+                            out[i] = acc;
+                            acc = $fold(acc, v[i]);
+                        }
+                    }
+                }
+                let field = self.field_mut(dst)?;
+                let FieldData::$variant(d) = &mut field.data else { unreachable!() };
+                for i in 0..size {
+                    if mask[i] {
+                        d[i] = out[i];
+                    }
+                }
+            }};
+        }
+
+        match &self.field(src)?.data.clone() {
+            FieldData::I64(v) => match op {
+                ReduceOp::Add => scan_impl!(v, I64, 0i64, |a: i64, b: i64| a.wrapping_add(b)),
+                ReduceOp::Mul => scan_impl!(v, I64, 1i64, |a: i64, b: i64| a.wrapping_mul(b)),
+                ReduceOp::Min => scan_impl!(v, I64, INT_INF, |a: i64, b: i64| a.min(b)),
+                ReduceOp::Max => scan_impl!(v, I64, INT_NEG_INF, |a: i64, b: i64| a.max(b)),
+                _ => return Err(CmError::Unsupported("scan op on int field")),
+            },
+            FieldData::F64(v) => match op {
+                ReduceOp::Add => scan_impl!(v, F64, 0.0f64, |a: f64, b: f64| a + b),
+                ReduceOp::Mul => scan_impl!(v, F64, 1.0f64, |a: f64, b: f64| a * b),
+                ReduceOp::Min => scan_impl!(v, F64, f64::INFINITY, |a: f64, b: f64| a.min(b)),
+                ReduceOp::Max => {
+                    scan_impl!(v, F64, f64::NEG_INFINITY, |a: f64, b: f64| a.max(b))
+                }
+                _ => return Err(CmError::Unsupported("scan op on float field")),
+            },
+            FieldData::Bool(v) => match op {
+                ReduceOp::Or => scan_impl!(v, Bool, false, |a: bool, b: bool| a || b),
+                ReduceOp::And => scan_impl!(v, Bool, true, |a: bool, b: bool| a && b),
+                ReduceOp::Xor => scan_impl!(v, Bool, false, |a: bool, b: bool| a ^ b),
+                _ => return Err(CmError::Unsupported("scan op on bool field")),
+            },
+        }
+
+        self.tick(OpClass::Scan, size);
+        Ok(())
+    }
+}
+
+fn reduce_int(v: &[i64], mask: &[bool], op: ReduceOp) -> Scalar {
+    let active = v.iter().zip(mask).filter(|(_, &m)| m).map(|(&x, _)| x);
+    match op {
+        ReduceOp::Add => Scalar::Int(active.fold(0i64, |a, b| a.wrapping_add(b))),
+        ReduceOp::Mul => Scalar::Int(active.fold(1i64, |a, b| a.wrapping_mul(b))),
+        ReduceOp::Min => Scalar::Int(active.fold(INT_INF, i64::min)),
+        ReduceOp::Max => Scalar::Int(active.fold(INT_NEG_INF, i64::max)),
+        ReduceOp::And => Scalar::Int(active.fold(1i64, |a, b| (a != 0 && b != 0) as i64)),
+        ReduceOp::Or => Scalar::Int(active.fold(0i64, |a, b| (a != 0 || b != 0) as i64)),
+        ReduceOp::Xor => Scalar::Int(active.fold(0i64, |a, b| ((a != 0) ^ (b != 0)) as i64)),
+        ReduceOp::Arb => Scalar::Int(active.into_iter().next().unwrap_or(INT_INF)),
+    }
+}
+
+fn reduce_float(v: &[f64], mask: &[bool], op: ReduceOp) -> Result<Scalar> {
+    let active = v.iter().zip(mask).filter(|(_, &m)| m).map(|(&x, _)| x);
+    Ok(match op {
+        ReduceOp::Add => Scalar::Float(active.fold(0.0, |a, b| a + b)),
+        ReduceOp::Mul => Scalar::Float(active.fold(1.0, |a, b| a * b)),
+        ReduceOp::Min => Scalar::Float(active.fold(f64::INFINITY, f64::min)),
+        ReduceOp::Max => Scalar::Float(active.fold(f64::NEG_INFINITY, f64::max)),
+        ReduceOp::Arb => Scalar::Float(active.into_iter().next().unwrap_or(f64::INFINITY)),
+        _ => return Err(CmError::Unsupported("logical reduction on float field")),
+    })
+}
+
+fn reduce_bool(v: &[bool], mask: &[bool], op: ReduceOp) -> Result<Scalar> {
+    let active = v.iter().zip(mask).filter(|(_, &m)| m).map(|(&x, _)| x);
+    Ok(match op {
+        ReduceOp::And => Scalar::Bool(active.fold(true, |a, b| a && b)),
+        ReduceOp::Or => Scalar::Bool(active.fold(false, |a, b| a || b)),
+        ReduceOp::Xor => Scalar::Bool(active.fold(false, |a, b| a ^ b)),
+        ReduceOp::Arb => Scalar::Bool(active.into_iter().next().unwrap_or(false)),
+        _ => return Err(CmError::Unsupported("arithmetic reduction on bool field")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use crate::ops::BinOp;
+
+    fn setup(n: usize) -> (Machine, FieldId) {
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("v", &[n]).unwrap();
+        let a = m.alloc_int(vp, "a").unwrap();
+        m.iota(a).unwrap();
+        (m, a)
+    }
+
+    #[test]
+    fn basic_reductions() {
+        let (mut m, a) = setup(5); // 0..4
+        assert_eq!(m.reduce(a, ReduceOp::Add).unwrap(), Scalar::Int(10));
+        assert_eq!(m.reduce(a, ReduceOp::Max).unwrap(), Scalar::Int(4));
+        assert_eq!(m.reduce(a, ReduceOp::Min).unwrap(), Scalar::Int(0));
+        assert_eq!(m.reduce(a, ReduceOp::Mul).unwrap(), Scalar::Int(0));
+        assert_eq!(m.reduce(a, ReduceOp::Arb).unwrap(), Scalar::Int(0));
+        assert_eq!(m.reduce(a, ReduceOp::Or).unwrap(), Scalar::Int(1));
+        assert_eq!(m.reduce(a, ReduceOp::And).unwrap(), Scalar::Int(0)); // 0 is false
+    }
+
+    #[test]
+    fn empty_active_set_yields_identity() {
+        let (mut m, a) = setup(4);
+        let vp = a.vp_set();
+        let none = m.alloc_bool(vp, "none").unwrap(); // all false
+        m.push_context(none).unwrap();
+        assert_eq!(m.reduce(a, ReduceOp::Add).unwrap(), Scalar::Int(0));
+        assert_eq!(m.reduce(a, ReduceOp::Min).unwrap(), Scalar::Int(INT_INF));
+        assert_eq!(m.reduce(a, ReduceOp::Max).unwrap(), Scalar::Int(INT_NEG_INF));
+        assert_eq!(m.reduce(a, ReduceOp::Mul).unwrap(), Scalar::Int(1));
+        assert_eq!(m.reduce(a, ReduceOp::And).unwrap(), Scalar::Int(1));
+        assert_eq!(m.reduce(a, ReduceOp::Arb).unwrap(), Scalar::Int(INT_INF));
+        m.pop_context(vp).unwrap();
+    }
+
+    #[test]
+    fn masked_reduction() {
+        let (mut m, a) = setup(6);
+        let vp = a.vp_set();
+        let even = m.alloc_bool(vp, "even").unwrap();
+        let t = m.alloc_int(vp, "t").unwrap();
+        m.binop_imm(BinOp::Mod, t, a, Scalar::Int(2)).unwrap();
+        m.binop_imm(BinOp::Eq, even, t, Scalar::Int(0)).unwrap();
+        m.push_context(even).unwrap();
+        assert_eq!(m.reduce(a, ReduceOp::Add).unwrap(), Scalar::Int(0 + 2 + 4));
+        m.pop_context(vp).unwrap();
+    }
+
+    #[test]
+    fn float_reductions() {
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("v", &[3]).unwrap();
+        let f = m.alloc_float(vp, "f").unwrap();
+        m.write_all(f, FieldData::F64(vec![1.5, -2.0, 4.0])).unwrap();
+        assert_eq!(m.reduce(f, ReduceOp::Add).unwrap(), Scalar::Float(3.5));
+        assert_eq!(m.reduce(f, ReduceOp::Min).unwrap(), Scalar::Float(-2.0));
+        assert_eq!(m.reduce(f, ReduceOp::Mul).unwrap(), Scalar::Float(-12.0));
+        assert!(m.reduce(f, ReduceOp::Xor).is_err());
+    }
+
+    #[test]
+    fn bool_reductions() {
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("v", &[3]).unwrap();
+        let b = m.alloc_bool(vp, "b").unwrap();
+        m.write_all(b, FieldData::Bool(vec![true, false, true])).unwrap();
+        assert_eq!(m.reduce(b, ReduceOp::Or).unwrap(), Scalar::Bool(true));
+        assert_eq!(m.reduce(b, ReduceOp::And).unwrap(), Scalar::Bool(false));
+        assert_eq!(m.reduce(b, ReduceOp::Xor).unwrap(), Scalar::Bool(false)); // parity of 2
+        assert_eq!(m.reduce(b, ReduceOp::Arb).unwrap(), Scalar::Bool(true));
+        assert!(m.reduce(b, ReduceOp::Add).is_err());
+    }
+
+    #[test]
+    fn reduce_spread_broadcasts() {
+        let (mut m, a) = setup(4);
+        let vp = a.vp_set();
+        let d = m.alloc_int(vp, "d").unwrap();
+        m.reduce_spread(d, a, ReduceOp::Add).unwrap();
+        assert_eq!(m.int_data(d).unwrap(), &[6, 6, 6, 6]);
+        // Spread into a float field coerces.
+        let f = m.alloc_float(vp, "f").unwrap();
+        m.reduce_spread(f, a, ReduceOp::Max).unwrap();
+        assert_eq!(m.float_data(f).unwrap(), &[3.0, 3.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn inclusive_and_exclusive_scans() {
+        let (mut m, a) = setup(4); // 0 1 2 3
+        let vp = a.vp_set();
+        let d = m.alloc_int(vp, "d").unwrap();
+        m.scan(d, a, ReduceOp::Add, true, None).unwrap();
+        assert_eq!(m.int_data(d).unwrap(), &[0, 1, 3, 6]);
+        m.scan(d, a, ReduceOp::Add, false, None).unwrap();
+        assert_eq!(m.int_data(d).unwrap(), &[0, 0, 1, 3]);
+        m.scan(d, a, ReduceOp::Max, true, None).unwrap();
+        assert_eq!(m.int_data(d).unwrap(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn masked_scan_skips_inactive() {
+        let (mut m, a) = setup(5); // 0 1 2 3 4
+        let vp = a.vp_set();
+        let d = m.alloc_int(vp, "d").unwrap();
+        let mask = m.alloc_bool(vp, "m").unwrap();
+        m.set_imm(d, Scalar::Int(-1)).unwrap();
+        m.write_all(mask, FieldData::Bool(vec![true, false, true, false, true])).unwrap();
+        m.push_context(mask).unwrap();
+        m.scan(d, a, ReduceOp::Add, true, None).unwrap();
+        m.pop_context(vp).unwrap();
+        assert_eq!(m.int_data(d).unwrap(), &[0, -1, 2, -1, 6]);
+    }
+
+    #[test]
+    fn segmented_scan_restarts() {
+        let (mut m, a) = setup(6); // 0 1 2 3 4 5
+        let vp = a.vp_set();
+        let d = m.alloc_int(vp, "d").unwrap();
+        let seg = m.alloc_bool(vp, "seg").unwrap();
+        m.write_all(seg, FieldData::Bool(vec![true, false, false, true, false, false]))
+            .unwrap();
+        m.scan(d, a, ReduceOp::Add, true, Some(seg)).unwrap();
+        assert_eq!(m.int_data(d).unwrap(), &[0, 1, 3, 3, 7, 12]);
+    }
+
+    #[test]
+    fn scan_type_checks() {
+        let (mut m, a) = setup(3);
+        let vp = a.vp_set();
+        let f = m.alloc_float(vp, "f").unwrap();
+        assert!(m.scan(f, a, ReduceOp::Add, true, None).is_err());
+        let b = m.alloc_bool(vp, "b").unwrap();
+        let d = m.alloc_bool(vp, "d").unwrap();
+        m.scan(d, b, ReduceOp::Or, true, None).unwrap();
+        assert!(m.scan(d, b, ReduceOp::Add, true, None).is_err());
+    }
+}

@@ -1,0 +1,173 @@
+//! Property-based tests of the simulator's core invariants.
+
+use proptest::prelude::*;
+use uc_cm::{news::Border, BinOp, Combine, FieldData, Geometry, Machine, ReduceOp, Scalar};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Geometry address/coordinate are mutual inverses for any shape.
+    #[test]
+    fn geometry_roundtrip(dims in prop::collection::vec(1usize..6, 1..4)) {
+        let g = Geometry::new(&dims).unwrap();
+        for addr in 0..g.size() {
+            let c = g.coordinate(addr).unwrap();
+            prop_assert_eq!(g.address(&c), Some(addr));
+            for axis in 0..g.rank() {
+                prop_assert_eq!(g.axis_coordinate(addr, axis).unwrap(), c[axis]);
+            }
+        }
+    }
+
+    /// Toroidal neighbours compose: +k then -k is the identity.
+    #[test]
+    fn wrap_neighbors_invert(dims in prop::collection::vec(1usize..6, 1..3),
+                             offset in -7i64..7) {
+        let g = Geometry::new(&dims).unwrap();
+        for addr in 0..g.size() {
+            for axis in 0..g.rank() {
+                let there = g.neighbor_wrap(addr, axis, offset).unwrap();
+                let back = g.neighbor_wrap(there, axis, -offset).unwrap();
+                prop_assert_eq!(back, addr);
+            }
+        }
+    }
+
+    /// A router send along a permutation delivers exactly the permuted
+    /// data (no loss, no duplication).
+    #[test]
+    fn router_permutation(perm in prop::collection::vec(0usize..32, 2..32)) {
+        // Make `perm` a permutation of 0..n.
+        let n = perm.len();
+        let mut p: Vec<usize> = (0..n).collect();
+        for (k, &r) in perm.iter().enumerate() {
+            p.swap(k, r % n);
+        }
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("v", &[n]).unwrap();
+        let src = m.alloc_int(vp, "s").unwrap();
+        let addr = m.alloc_int(vp, "a").unwrap();
+        let dst = m.alloc_int(vp, "d").unwrap();
+        let data: Vec<i64> = (0..n as i64).map(|x| x * 10 + 1).collect();
+        m.write_all(src, FieldData::I64(data.clone())).unwrap();
+        m.write_all(addr, FieldData::I64(p.iter().map(|&x| x as i64).collect())).unwrap();
+        let conflict = m.send_detect(dst, addr, src, Combine::Overwrite).unwrap();
+        prop_assert!(!conflict, "permutation cannot collide");
+        let out = match m.read_all(dst).unwrap() {
+            FieldData::I64(v) => v,
+            _ => unreachable!(),
+        };
+        for i in 0..n {
+            prop_assert_eq!(out[p[i]], data[i]);
+        }
+    }
+
+    /// get(send(x)) round-trips through any permutation.
+    #[test]
+    fn gather_inverts_scatter(perm in prop::collection::vec(0usize..24, 2..24)) {
+        let n = perm.len();
+        let mut p: Vec<usize> = (0..n).collect();
+        for (k, &r) in perm.iter().enumerate() {
+            p.swap(k, r % n);
+        }
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("v", &[n]).unwrap();
+        let src = m.alloc_int(vp, "s").unwrap();
+        let addr = m.alloc_int(vp, "a").unwrap();
+        let mid = m.alloc_int(vp, "mid").unwrap();
+        let back = m.alloc_int(vp, "back").unwrap();
+        let data: Vec<i64> = (0..n as i64).map(|x| 7 - 3 * x).collect();
+        m.write_all(src, FieldData::I64(data.clone())).unwrap();
+        m.write_all(addr, FieldData::I64(p.iter().map(|&x| x as i64).collect())).unwrap();
+        m.send(mid, addr, src, Combine::Overwrite).unwrap();
+        m.get(back, addr, mid).unwrap();
+        prop_assert_eq!(m.read_all(back).unwrap(), FieldData::I64(data));
+    }
+
+    /// Machine reductions equal sequential folds under arbitrary masks.
+    #[test]
+    fn reduce_equals_fold(data in prop::collection::vec(-100i64..100, 1..64),
+                          mask in prop::collection::vec(any::<bool>(), 1..64)) {
+        let n = data.len().min(mask.len());
+        let data = &data[..n];
+        let mask = &mask[..n];
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("v", &[n]).unwrap();
+        let a = m.alloc_int(vp, "a").unwrap();
+        let mk = m.alloc_bool(vp, "m").unwrap();
+        m.write_all(a, FieldData::I64(data.to_vec())).unwrap();
+        m.write_all(mk, FieldData::Bool(mask.to_vec())).unwrap();
+        m.push_context(mk).unwrap();
+        let active: Vec<i64> =
+            data.iter().zip(mask).filter(|(_, &m)| m).map(|(&x, _)| x).collect();
+        prop_assert_eq!(
+            m.reduce(a, ReduceOp::Add).unwrap().as_int(),
+            active.iter().sum::<i64>()
+        );
+        prop_assert_eq!(
+            m.reduce(a, ReduceOp::Min).unwrap().as_int(),
+            active.iter().min().copied().unwrap_or(i64::MAX)
+        );
+        prop_assert_eq!(
+            m.reduce(a, ReduceOp::Max).unwrap().as_int(),
+            active.iter().max().copied().unwrap_or(i64::MIN)
+        );
+        m.pop_context(vp).unwrap();
+    }
+
+    /// Inclusive scan equals the running fold; exclusive is the shifted
+    /// variant.
+    #[test]
+    fn scan_equals_running_fold(data in prop::collection::vec(-50i64..50, 1..48)) {
+        let n = data.len();
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("v", &[n]).unwrap();
+        let a = m.alloc_int(vp, "a").unwrap();
+        let d = m.alloc_int(vp, "d").unwrap();
+        m.write_all(a, FieldData::I64(data.clone())).unwrap();
+        m.scan(d, a, ReduceOp::Add, true, None).unwrap();
+        let mut acc = 0i64;
+        let incl: Vec<i64> = data.iter().map(|&x| { acc += x; acc }).collect();
+        prop_assert_eq!(m.read_all(d).unwrap(), FieldData::I64(incl.clone()));
+        m.scan(d, a, ReduceOp::Add, false, None).unwrap();
+        let excl: Vec<i64> =
+            std::iter::once(0).chain(incl[..n - 1].iter().copied()).collect();
+        prop_assert_eq!(m.read_all(d).unwrap(), FieldData::I64(excl));
+    }
+
+    /// NEWS shift with wrap equals index rotation.
+    #[test]
+    fn news_wrap_is_rotation(data in prop::collection::vec(-50i64..50, 2..32),
+                             offset in -5i64..5) {
+        let n = data.len();
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("v", &[n]).unwrap();
+        let a = m.alloc_int(vp, "a").unwrap();
+        let d = m.alloc_int(vp, "d").unwrap();
+        m.write_all(a, FieldData::I64(data.clone())).unwrap();
+        m.news_shift(d, a, 0, offset, Border::Wrap).unwrap();
+        let expect: Vec<i64> = (0..n)
+            .map(|i| data[(i as i64 + offset).rem_euclid(n as i64) as usize])
+            .collect();
+        prop_assert_eq!(m.read_all(d).unwrap(), FieldData::I64(expect));
+    }
+
+    /// The cycle clock is deterministic: the same op sequence charges the
+    /// same cycles regardless of the data.
+    #[test]
+    fn clock_is_data_independent(a_data in prop::collection::vec(-9i64..9, 8..9),
+                                 b_data in prop::collection::vec(-9i64..9, 8..9)) {
+        let run = |data: &[i64]| -> u64 {
+            let mut m = Machine::with_defaults();
+            let vp = m.new_vp_set("v", &[8]).unwrap();
+            let a = m.alloc_int(vp, "a").unwrap();
+            let b = m.alloc_int(vp, "b").unwrap();
+            m.write_all(a, FieldData::I64(data.to_vec())).unwrap();
+            m.binop(BinOp::Add, b, a, a).unwrap();
+            m.binop_imm(BinOp::Mul, b, b, Scalar::Int(3)).unwrap();
+            m.reduce(b, ReduceOp::Max).unwrap();
+            m.cycles()
+        };
+        prop_assert_eq!(run(&a_data), run(&b_data));
+    }
+}

@@ -1,0 +1,90 @@
+//! Compile-time diagnostics.
+
+use crate::span::Span;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+/// One compiler message with a source location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    pub span: Span,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn error(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Error, span, message: message.into() }
+    }
+
+    pub fn warning(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic { severity: Severity::Warning, span, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{}: {} at {}", sev, self.message, self.span)
+    }
+}
+
+/// A list of diagnostics; compilation fails iff it contains an error.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Diagnostics {
+    pub items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    pub fn error(&mut self, span: Span, message: impl Into<String>) {
+        self.items.push(Diagnostic::error(span, message));
+    }
+
+    pub fn warning(&mut self, span: Span, message: impl Into<String>) {
+        self.items.push(Diagnostic::warning(span, message));
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.items.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl std::fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for d in &self.items {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_and_formatting() {
+        let mut ds = Diagnostics::default();
+        assert!(!ds.has_errors());
+        ds.warning(Span::new(0, 1, 1, 1), "minor");
+        assert!(!ds.has_errors());
+        assert!(!ds.is_empty());
+        ds.error(Span::new(5, 9, 2, 3), "bad thing");
+        assert!(ds.has_errors());
+        let text = ds.to_string();
+        assert!(text.contains("warning: minor at 1:1"));
+        assert!(text.contains("error: bad thing at 2:3"));
+    }
+}

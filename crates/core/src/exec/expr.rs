@@ -1,0 +1,557 @@
+//! Expression evaluation.
+//!
+//! Expressions evaluate to [`PV`]s: front-end scalars or fields on the
+//! current iteration space. Mixed scalar/field operations broadcast the
+//! scalar as an immediate (one SIMD instruction), mirroring the CM's
+//! front-end-broadcast execution model. In a parallel context `&&`/`||`
+//! evaluate both sides synchronously (no short-circuit — all enabled
+//! processors execute every instruction); on the front end they
+//! short-circuit like C.
+
+use uc_cm::{BinOp, ElemType, Scalar, UnOp};
+
+use super::{Program, RResult, RuntimeError, LocalVar, PV};
+use crate::ast::{BinaryOp, Expr, UnaryOp};
+use crate::stdlib;
+
+impl Program {
+    /// Evaluate an expression in the current context.
+    pub(crate) fn eval(&mut self, e: &Expr) -> RResult<PV> {
+        match e {
+            Expr::IntLit(v, _) => Ok(PV::Scalar(Scalar::Int(*v))),
+            Expr::FloatLit(v, _) => Ok(PV::Scalar(Scalar::Float(*v))),
+            Expr::Inf(_) => Ok(PV::Scalar(Scalar::Int(i64::MAX))),
+            Expr::Ident(name, _) => self.resolve_ident(name),
+            Expr::Index { base, subs, .. } => self.read_array(base, subs),
+            Expr::Call { name, args, .. } => self.eval_call(name, args),
+            Expr::Unary { op, expr, .. } => {
+                let v = self.eval(expr)?;
+                self.apply_unary(*op, v)
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                if self.ctx.is_empty() {
+                    // Front-end short-circuit for && and ||.
+                    if *op == BinaryOp::LogAnd || *op == BinaryOp::LogOr {
+                        let l = self.eval_scalar(lhs)?;
+                        let lt = l.as_bool();
+                        if (*op == BinaryOp::LogAnd && !lt) || (*op == BinaryOp::LogOr && lt) {
+                            return Ok(PV::Scalar(Scalar::Int(lt as i64)));
+                        }
+                        let r = self.eval_scalar(rhs)?;
+                        return Ok(PV::Scalar(Scalar::Int(r.as_bool() as i64)));
+                    }
+                }
+                let l = self.eval(lhs)?;
+                let r = self.eval(rhs)?;
+                self.apply_binary(*op, l, r)
+            }
+            Expr::Ternary { cond, then_e, else_e, .. } => {
+                if self.ctx.is_empty() {
+                    let c = self.eval_scalar(cond)?;
+                    return if c.as_bool() { self.eval(then_e) } else { self.eval(else_e) };
+                }
+                let c = self.eval(cond)?;
+                let c = self.truthify(c)?;
+                let t = self.eval(then_e)?;
+                let f = self.eval(else_e)?;
+                let ty = self.common_type(&t, &f)?;
+                let t = self.to_field(t, ty)?;
+                let f = self.to_field(f, ty)?;
+                let c = self.to_field(c, ElemType::Bool)?;
+                let (PV::Field { id: cid, .. }, PV::Field { id: tid, .. }, PV::Field { id: fid, .. }) =
+                    (c, t, f)
+                else {
+                    unreachable!()
+                };
+                let vp = self.ctx.last().unwrap().vp;
+                let dst = self.machine.alloc(vp, "~sel", ty)?;
+                self.machine.select(dst, cid, tid, fid)?;
+                self.release(c);
+                self.release(t);
+                self.release(f);
+                Ok(PV::owned(dst))
+            }
+            Expr::Assign { target, op, value, .. } => self.eval_assign(target, *op, value),
+            Expr::Reduce(r) => self.eval_reduce(r),
+        }
+    }
+
+    /// Evaluate an expression that must be a front-end scalar.
+    pub(crate) fn eval_scalar(&mut self, e: &Expr) -> RResult<Scalar> {
+        match self.eval(e)? {
+            PV::Scalar(s) => Ok(s),
+            pv @ PV::Field { .. } => {
+                self.release(pv);
+                Err(RuntimeError::NotSupported(
+                    "a parallel value was used where a front-end scalar is required".into(),
+                ))
+            }
+        }
+    }
+
+    /// Resolve a name: index elements (innermost construct first), local
+    /// variables, globals, `#define` constants.
+    pub(crate) fn resolve_ident(&mut self, name: &str) -> RResult<PV> {
+        // Index elements of enclosing constructs.
+        for level in (0..self.ctx.len()).rev() {
+            if let Some((_, field, _)) =
+                self.ctx[level].elems.iter().find(|(n, _, _)| n == name).cloned()
+            {
+                return self.lift_to_current(field, level);
+            }
+        }
+        // Function locals (including `seq` element scalars and par-locals).
+        if let Some(frame) = self.frames.last() {
+            for scope in frame.scopes.iter().rev() {
+                match scope.vars.get(name) {
+                    Some(LocalVar::Scalar(s)) => return Ok(PV::Scalar(*s)),
+                    Some(LocalVar::ParField { field, level }) => {
+                        let (field, level) = (*field, *level);
+                        if self.ctx.is_empty() {
+                            return Err(RuntimeError::NotSupported(format!(
+                                "parallel variable `{name}` used outside a parallel construct"
+                            )));
+                        }
+                        return self.lift_to_current(field, level);
+                    }
+                    Some(LocalVar::Array(_)) => {
+                        return Err(RuntimeError::NotSupported(format!(
+                            "array `{name}` used without subscripts"
+                        )))
+                    }
+                    None => {}
+                }
+            }
+        }
+        if let Some(s) = self.globals.get(name) {
+            return Ok(PV::Scalar(*s));
+        }
+        if let Some(v) = self.checked.consts.get(name) {
+            return Ok(PV::Scalar(Scalar::Int(*v)));
+        }
+        Err(RuntimeError::Unbound(name.to_string()))
+    }
+
+    /// The element type a PV would have as a field.
+    pub(crate) fn pv_type(&self, pv: &PV) -> RResult<ElemType> {
+        Ok(match pv {
+            PV::Scalar(s) => s.elem_type(),
+            PV::Field { id, .. } => self.machine.elem_type(*id)?,
+        })
+    }
+
+    /// Numeric join of two PV types (float wins; bool acts as int).
+    pub(crate) fn common_type(&self, a: &PV, b: &PV) -> RResult<ElemType> {
+        let (ta, tb) = (self.pv_type(a)?, self.pv_type(b)?);
+        Ok(if ta == ElemType::Float || tb == ElemType::Float {
+            ElemType::Float
+        } else {
+            ElemType::Int
+        })
+    }
+
+    /// Convert a PV to a boolean (C truthiness).
+    pub(crate) fn truthify(&mut self, pv: PV) -> RResult<PV> {
+        match pv {
+            PV::Scalar(s) => Ok(PV::Scalar(Scalar::Bool(s.as_bool()))),
+            PV::Field { id, .. } => {
+                if self.machine.elem_type(id)? == ElemType::Bool {
+                    Ok(pv)
+                } else {
+                    self.to_field(pv, ElemType::Bool)
+                }
+            }
+        }
+    }
+
+    fn apply_unary(&mut self, op: UnaryOp, v: PV) -> RResult<PV> {
+        match (op, v) {
+            (UnaryOp::Neg, PV::Scalar(Scalar::Int(x))) => {
+                Ok(PV::Scalar(Scalar::Int(x.wrapping_neg())))
+            }
+            (UnaryOp::Neg, PV::Scalar(Scalar::Float(x))) => Ok(PV::Scalar(Scalar::Float(-x))),
+            (UnaryOp::Neg, PV::Scalar(Scalar::Bool(b))) => {
+                Ok(PV::Scalar(Scalar::Int(-(b as i64))))
+            }
+            (UnaryOp::Not, PV::Scalar(s)) => Ok(PV::Scalar(Scalar::Int(!s.as_bool() as i64))),
+            (UnaryOp::BitNot, PV::Scalar(s)) => Ok(PV::Scalar(Scalar::Int(!s.as_int()))),
+            (op, v @ PV::Field { .. }) => {
+                let ty = self.pv_type(&v)?;
+                let vp = self
+                    .ctx
+                    .last()
+                    .ok_or_else(|| RuntimeError::NotSupported("field outside context".into()))?
+                    .vp;
+                match op {
+                    UnaryOp::Neg => {
+                        let v = if ty == ElemType::Bool {
+                            self.to_field(v, ElemType::Int)?
+                        } else {
+                            v
+                        };
+                        let ty = self.pv_type(&v)?;
+                        let PV::Field { id, .. } = v else { unreachable!() };
+                        let dst = self.machine.alloc(vp, "~neg", ty)?;
+                        self.machine.unop(UnOp::Neg, dst, id)?;
+                        self.release(v);
+                        Ok(PV::owned(dst))
+                    }
+                    UnaryOp::Not => {
+                        let b = self.truthify(v)?;
+                        let PV::Field { id, .. } = b else { unreachable!() };
+                        let dst = self.machine.alloc_bool(vp, "~not")?;
+                        self.machine.unop(UnOp::Not, dst, id)?;
+                        self.release(b);
+                        Ok(PV::owned(dst))
+                    }
+                    UnaryOp::BitNot => {
+                        let v = self.to_field(v, ElemType::Int)?;
+                        let PV::Field { id, .. } = v else { unreachable!() };
+                        let dst = self.machine.alloc_int(vp, "~bnot")?;
+                        self.machine.unop(UnOp::BitNot, dst, id)?;
+                        self.release(v);
+                        Ok(PV::owned(dst))
+                    }
+                }
+            }
+        }
+    }
+
+    pub(crate) fn apply_binary(&mut self, op: BinaryOp, l: PV, r: PV) -> RResult<PV> {
+        if let (PV::Scalar(a), PV::Scalar(b)) = (&l, &r) {
+            return Ok(PV::Scalar(scalar_binary(op, *a, *b)?));
+        }
+        // At least one side is a field: compute elementwise.
+        let mop = machine_op(op);
+        let (l, r) = match op {
+            BinaryOp::LogAnd | BinaryOp::LogOr => {
+                (self.truthify(l)?, self.truthify(r)?)
+            }
+            _ if op.is_comparison() => {
+                let ty = self.common_type(&l, &r)?;
+                (self.coerce_operand(l, ty)?, self.coerce_operand(r, ty)?)
+            }
+            BinaryOp::Mod
+            | BinaryOp::Shl
+            | BinaryOp::Shr
+            | BinaryOp::BitAnd
+            | BinaryOp::BitOr
+            | BinaryOp::BitXor => {
+                (self.coerce_operand(l, ElemType::Int)?, self.coerce_operand(r, ElemType::Int)?)
+            }
+            _ => {
+                let ty = self.common_type(&l, &r)?;
+                (self.coerce_operand(l, ty)?, self.coerce_operand(r, ty)?)
+            }
+        };
+        let vp = self
+            .ctx
+            .last()
+            .ok_or_else(|| RuntimeError::NotSupported("field op outside context".into()))?
+            .vp;
+        let out_ty = if op.is_comparison() || op == BinaryOp::LogAnd || op == BinaryOp::LogOr {
+            ElemType::Bool
+        } else {
+            self.pv_type(&l)?
+        };
+        let dst = self.machine.alloc(vp, "~bin", out_ty)?;
+        let result = match (&l, &r) {
+            (PV::Field { id: a, .. }, PV::Field { id: b, .. }) => {
+                self.machine.binop(mop, dst, *a, *b)
+            }
+            (PV::Field { id: a, .. }, PV::Scalar(s)) => {
+                let s = super::space::coerce_scalar(*s, self.machine.elem_type(*a)?);
+                self.machine.binop_imm(mop, dst, *a, s)
+            }
+            (PV::Scalar(s), PV::Field { id: b, .. }) => {
+                let s = super::space::coerce_scalar(*s, self.machine.elem_type(*b)?);
+                self.machine.binop_imm_l(mop, dst, s, *b)
+            }
+            (PV::Scalar(_), PV::Scalar(_)) => unreachable!("handled above"),
+        };
+        self.release(l);
+        self.release(r);
+        match result {
+            Ok(()) => Ok(PV::owned(dst)),
+            Err(e) => {
+                let _ = self.machine.free(dst);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Coerce a PV operand to a type, preserving scalars as scalars.
+    fn coerce_operand(&mut self, pv: PV, ty: ElemType) -> RResult<PV> {
+        match pv {
+            PV::Scalar(s) => Ok(PV::Scalar(super::space::coerce_scalar(s, ty))),
+            PV::Field { .. } => self.to_field(pv, ty),
+        }
+    }
+
+    // ---- calls ------------------------------------------------------------
+
+    fn eval_call(&mut self, name: &str, args: &[Expr]) -> RResult<PV> {
+        match name {
+            "power2" => {
+                let v = self.eval(&args[0])?;
+                match v {
+                    PV::Scalar(s) => Ok(PV::Scalar(Scalar::Int(stdlib::power2(s.as_int())))),
+                    PV::Field { .. } => {
+                        let v = self.to_field(v, ElemType::Int)?;
+                        let PV::Field { id, .. } = v else { unreachable!() };
+                        let vp = self.ctx.last().unwrap().vp;
+                        let dst = self.machine.alloc_int(vp, "~pow2")?;
+                        self.machine.binop_imm_l(BinOp::Shl, dst, Scalar::Int(1), id)?;
+                        self.release(v);
+                        Ok(PV::owned(dst))
+                    }
+                }
+            }
+            "rand" => {
+                let seed = self.next_rand_seed();
+                if let Some(ctx) = self.ctx.last() {
+                    let vp = ctx.vp;
+                    let dst = self.machine.alloc_int(vp, "~rand")?;
+                    self.machine.rand_int(dst, 1 << 31, seed)?;
+                    Ok(PV::owned(dst))
+                } else {
+                    // Front-end rand: same generator, position 0.
+                    let v = front_end_rand(seed);
+                    Ok(PV::Scalar(Scalar::Int(v)))
+                }
+            }
+            "abs" | "ABS" => {
+                let v = self.eval(&args[0])?;
+                match v {
+                    PV::Scalar(Scalar::Int(x)) => Ok(PV::Scalar(Scalar::Int(x.abs()))),
+                    PV::Scalar(Scalar::Float(x)) => Ok(PV::Scalar(Scalar::Float(x.abs()))),
+                    PV::Scalar(Scalar::Bool(b)) => Ok(PV::Scalar(Scalar::Int(b as i64))),
+                    PV::Field { .. } => {
+                        let ty = self.pv_type(&v)?;
+                        let ty = if ty == ElemType::Bool { ElemType::Int } else { ty };
+                        let v = self.to_field(v, ty)?;
+                        let PV::Field { id, .. } = v else { unreachable!() };
+                        let vp = self.ctx.last().unwrap().vp;
+                        let dst = self.machine.alloc(vp, "~abs", ty)?;
+                        self.machine.unop(UnOp::Abs, dst, id)?;
+                        self.release(v);
+                        Ok(PV::owned(dst))
+                    }
+                }
+            }
+            "min" | "max" => {
+                let l = self.eval(&args[0])?;
+                let r = self.eval(&args[1])?;
+                let mop = if name == "min" { BinOp::Min } else { BinOp::Max };
+                match (&l, &r) {
+                    (PV::Scalar(a), PV::Scalar(b)) => {
+                        let v = if a.elem_type() == ElemType::Float
+                            || b.elem_type() == ElemType::Float
+                        {
+                            let (x, y) = (a.as_float(), b.as_float());
+                            Scalar::Float(if name == "min" { x.min(y) } else { x.max(y) })
+                        } else {
+                            let (x, y) = (a.as_int(), b.as_int());
+                            Scalar::Int(if name == "min" { x.min(y) } else { x.max(y) })
+                        };
+                        Ok(PV::Scalar(v))
+                    }
+                    _ => {
+                        let ty = self.common_type(&l, &r)?;
+                        let l = self.to_field(l, ty)?;
+                        let r = self.to_field(r, ty)?;
+                        let (PV::Field { id: a, .. }, PV::Field { id: b, .. }) = (&l, &r)
+                        else {
+                            unreachable!()
+                        };
+                        let vp = self.ctx.last().unwrap().vp;
+                        let dst = self.machine.alloc(vp, "~mm", ty)?;
+                        self.machine.binop(mop, dst, *a, *b)?;
+                        self.release(l);
+                        self.release(r);
+                        Ok(PV::owned(dst))
+                    }
+                }
+            }
+            "swap" => Err(RuntimeError::NotSupported(
+                "swap(...) is a statement, not an expression".into(),
+            )),
+            _ => {
+                // User-defined function: front-end call; in a parallel
+                // context it is allowed when all arguments are scalars
+                // (e.g. `power2(j)`-style helpers over seq elements).
+                let f = self
+                    .checked
+                    .funcs
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| RuntimeError::Unbound(name.to_string()))?;
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    match self.eval(a)? {
+                        PV::Scalar(s) => vals.push(s),
+                        pv @ PV::Field { .. } => {
+                            self.release(pv);
+                            return Err(RuntimeError::NotSupported(format!(
+                                "call to `{name}` with a parallel argument \
+                                 (user functions run on the front end)"
+                            )));
+                        }
+                    }
+                }
+                let ret = self.call_function(&f, vals)?;
+                Ok(PV::Scalar(ret.unwrap_or(Scalar::Int(0))))
+            }
+        }
+    }
+}
+
+/// Front-end arithmetic on scalars (C semantics, wrapping ints).
+pub(crate) fn scalar_binary(op: BinaryOp, a: Scalar, b: Scalar) -> RResult<Scalar> {
+    use BinaryOp::*;
+    let float = a.elem_type() == ElemType::Float || b.elem_type() == ElemType::Float;
+    Ok(match op {
+        LogAnd => Scalar::Int((a.as_bool() && b.as_bool()) as i64),
+        LogOr => Scalar::Int((a.as_bool() || b.as_bool()) as i64),
+        Mod | Shl | Shr | BitAnd | BitOr | BitXor => {
+            let (x, y) = (a.as_int(), b.as_int());
+            Scalar::Int(match op {
+                Mod => {
+                    if y == 0 {
+                        return Err(RuntimeError::DivideByZero);
+                    }
+                    x.wrapping_rem(y)
+                }
+                Shl => x.wrapping_shl(y as u32),
+                Shr => x.wrapping_shr(y as u32),
+                BitAnd => x & y,
+                BitOr => x | y,
+                BitXor => x ^ y,
+                _ => unreachable!(),
+            })
+        }
+        Lt | Le | Gt | Ge | Eq | Ne => {
+            let t = if float {
+                let (x, y) = (a.as_float(), b.as_float());
+                match op {
+                    Lt => x < y,
+                    Le => x <= y,
+                    Gt => x > y,
+                    Ge => x >= y,
+                    Eq => x == y,
+                    Ne => x != y,
+                    _ => unreachable!(),
+                }
+            } else {
+                let (x, y) = (a.as_int(), b.as_int());
+                match op {
+                    Lt => x < y,
+                    Le => x <= y,
+                    Gt => x > y,
+                    Ge => x >= y,
+                    Eq => x == y,
+                    Ne => x != y,
+                    _ => unreachable!(),
+                }
+            };
+            Scalar::Int(t as i64)
+        }
+        Add | Sub | Mul | Div => {
+            if float {
+                let (x, y) = (a.as_float(), b.as_float());
+                Scalar::Float(match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div => x / y,
+                    _ => unreachable!(),
+                })
+            } else {
+                let (x, y) = (a.as_int(), b.as_int());
+                Scalar::Int(match op {
+                    Add => x.wrapping_add(y),
+                    Sub => x.wrapping_sub(y),
+                    Mul => x.wrapping_mul(y),
+                    Div => {
+                        if y == 0 {
+                            return Err(RuntimeError::DivideByZero);
+                        }
+                        x.wrapping_div(y)
+                    }
+                    _ => unreachable!(),
+                })
+            }
+        }
+    })
+}
+
+/// Map an AST binary op onto the machine's elementwise op.
+fn machine_op(op: BinaryOp) -> BinOp {
+    use BinaryOp::*;
+    match op {
+        Mul => BinOp::Mul,
+        Div => BinOp::Div,
+        Mod => BinOp::Mod,
+        Add => BinOp::Add,
+        Sub => BinOp::Sub,
+        Shl => BinOp::Shl,
+        Shr => BinOp::Shr,
+        Lt => BinOp::Lt,
+        Le => BinOp::Le,
+        Gt => BinOp::Gt,
+        Ge => BinOp::Ge,
+        Eq => BinOp::Eq,
+        Ne => BinOp::Ne,
+        BitAnd => BinOp::BitAnd,
+        BitXor => BinOp::BitXor,
+        BitOr => BinOp::BitOr,
+        LogAnd => BinOp::LogAnd,
+        LogOr => BinOp::LogOr,
+    }
+}
+
+/// Deterministic front-end `rand()` built from the same SplitMix stream
+/// as the machine's per-VP generator.
+fn front_end_rand(seed: u64) -> i64 {
+    let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    ((x ^ (x >> 31)) % (1 << 31)) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_ops() {
+        use BinaryOp::*;
+        let i = |v| Scalar::Int(v);
+        assert_eq!(scalar_binary(Add, i(2), i(3)).unwrap(), i(5));
+        assert_eq!(scalar_binary(Sub, i(2), i(3)).unwrap(), i(-1));
+        assert_eq!(scalar_binary(Mul, i(4), i(3)).unwrap(), i(12));
+        assert_eq!(scalar_binary(Div, i(7), i(2)).unwrap(), i(3));
+        assert_eq!(scalar_binary(Mod, i(7), i(2)).unwrap(), i(1));
+        assert_eq!(scalar_binary(Lt, i(1), i(2)).unwrap(), i(1));
+        assert_eq!(scalar_binary(Eq, i(2), i(2)).unwrap(), i(1));
+        assert_eq!(scalar_binary(LogAnd, i(1), i(0)).unwrap(), i(0));
+        assert_eq!(scalar_binary(Shl, i(1), i(4)).unwrap(), i(16));
+        assert!(scalar_binary(Div, i(1), i(0)).is_err());
+        assert!(scalar_binary(Mod, i(1), i(0)).is_err());
+        // Float promotion.
+        assert_eq!(
+            scalar_binary(Add, Scalar::Float(0.5), i(1)).unwrap(),
+            Scalar::Float(1.5)
+        );
+        assert_eq!(scalar_binary(Lt, Scalar::Float(0.5), i(1)).unwrap(), i(1));
+    }
+
+    #[test]
+    fn front_end_rand_bounded_and_deterministic() {
+        let a = front_end_rand(1);
+        let b = front_end_rand(1);
+        assert_eq!(a, b);
+        assert!((0..(1 << 31)).contains(&a));
+        assert_ne!(front_end_rand(1), front_end_rand(2));
+    }
+}

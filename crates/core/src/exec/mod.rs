@@ -1,0 +1,483 @@
+//! The UC executor.
+//!
+//! Runs a checked UC program on the Connection Machine simulator. The
+//! execution model mirrors the paper's implementation:
+//!
+//! * the **front end** interprets sequential statements and holds scalar
+//!   variables;
+//! * every *parallel construct* materialises an **iteration space** — a VP
+//!   set whose geometry is the Cartesian product of the construct's index
+//!   sets (nested constructs extend the enclosing space, so parallelism
+//!   multiplies, §3.4's matrix-multiply example);
+//! * `st` predicates compile to context-flag pushes;
+//! * array accesses are classified as **local**, **NEWS** or **router**
+//!   (the communication classes whose costs the map section optimises);
+//! * reductions evaluate their operand on the extended space and combine
+//!   into the enclosing space through the router's combining sends;
+//! * the `par` single-assignment rule ("multiple values assigned to one
+//!   variable must be identical") is enforced by the router's collision
+//!   detection.
+//!
+//! Submodules: `space` (iteration spaces and lifting), `expr`
+//! (expression evaluation), `access` (array access paths), `reduce`
+//! (reduction evaluation), `stmt` (statements and the four constructs).
+
+mod access;
+mod expr;
+mod reduce;
+mod space;
+mod stmt;
+
+use std::collections::HashMap;
+
+use uc_cm::{CmError, ElemType, FieldId, Machine, MachineConfig, Scalar, VpSetId};
+
+use crate::ast::FuncDef;
+use crate::diag::Diagnostics;
+use crate::mapping::{self, ArrayMapping};
+use crate::opt;
+use crate::parser;
+use crate::sema::{self, Checked};
+
+pub use space::ParCtx;
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct ExecConfig {
+    /// Physical processors of the simulated CM (the paper used 16K).
+    pub phys_procs: usize,
+    /// Seed for the machine's deterministic `rand()`.
+    pub seed: u64,
+    /// Enable the communication-class optimization (local/NEWS detection).
+    /// Off ⇒ every array access uses the general router, which is what the
+    /// mapping ablation compares against.
+    pub optimize_access: bool,
+    /// Enable the processor optimization of §4 (reduction VP-set
+    /// minimisation for histogram-style reductions).
+    pub procopt: bool,
+    /// Constant folding on the AST before execution.
+    pub constfold: bool,
+    /// Safety cap on `*`-construct and `while` iterations.
+    pub max_iterations: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            phys_procs: 16 * 1024,
+            seed: 0x5EED,
+            optimize_access: true,
+            procopt: true,
+            constfold: true,
+            max_iterations: 1 << 22,
+        }
+    }
+}
+
+/// Runtime failures of a UC program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// An error surfaced by the simulated machine.
+    Cm(CmError),
+    /// The `par` rule of §3.4: two enabled index elements assigned
+    /// distinct values to one variable.
+    MultipleAssignment { name: String },
+    /// An enabled index element wrote outside an array.
+    OutOfBounds { name: String },
+    /// A `*`-construct or loop exceeded [`ExecConfig::max_iterations`].
+    IterationLimit(&'static str),
+    /// A front-end-only feature was used in a parallel context (or vice
+    /// versa).
+    NotSupported(String),
+    /// Division by zero on the front end.
+    DivideByZero,
+    /// Name resolution failed at runtime (sema should prevent this).
+    Unbound(String),
+}
+
+impl From<CmError> for RuntimeError {
+    fn from(e: CmError) -> Self {
+        RuntimeError::Cm(e)
+    }
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::Cm(e) => write!(f, "machine error: {e}"),
+            RuntimeError::MultipleAssignment { name } => write!(
+                f,
+                "par statement assigned distinct values to a single element of `{name}`"
+            ),
+            RuntimeError::OutOfBounds { name } => {
+                write!(f, "parallel write outside the bounds of `{name}`")
+            }
+            RuntimeError::IterationLimit(what) => {
+                write!(f, "iteration limit exceeded in {what}")
+            }
+            RuntimeError::NotSupported(what) => write!(f, "not supported: {what}"),
+            RuntimeError::DivideByZero => write!(f, "division by zero"),
+            RuntimeError::Unbound(name) => write!(f, "unbound identifier `{name}`"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+pub(crate) type RResult<T> = Result<T, RuntimeError>;
+
+/// A parallel value: either a front-end scalar (broadcast on demand) or a
+/// field on the current iteration space.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum PV {
+    Scalar(Scalar),
+    /// `owned` fields are temporaries freed by the consumer.
+    Field { id: FieldId, owned: bool },
+}
+
+impl PV {
+    pub(crate) fn owned(id: FieldId) -> PV {
+        PV::Field { id, owned: true }
+    }
+}
+
+/// Storage of one UC array on the machine.
+#[derive(Debug, Clone)]
+pub(crate) struct ArrayStorage {
+    pub field: FieldId,
+    pub ty: ElemType,
+    /// Logical shape (the declared `a[N][M]` extents).
+    pub shape: Vec<usize>,
+    pub mapping: ArrayMapping,
+}
+
+/// A local variable binding.
+#[derive(Debug, Clone)]
+pub(crate) enum LocalVar {
+    /// Front-end scalar (function locals, parameters, `seq` elements).
+    Scalar(Scalar),
+    /// Per-VP variable declared inside a parallel body; `level` is the
+    /// context-stack depth it lives at.
+    ParField { field: FieldId, level: usize },
+    /// Function-local array.
+    Array(ArrayStorage),
+}
+
+/// One lexical scope of a function body.
+#[derive(Debug, Default)]
+pub(crate) struct Scope {
+    pub vars: HashMap<String, LocalVar>,
+    pub index_sets: HashMap<String, sema::IndexSetInfo>,
+}
+
+/// One function activation.
+#[derive(Debug, Default)]
+pub(crate) struct Frame {
+    pub scopes: Vec<Scope>,
+}
+
+/// A compiled, runnable UC program.
+///
+/// See the crate docs for a quickstart. `Program` owns the simulated
+/// machine; [`Program::cycles`] exposes the elapsed simulated time that
+/// the paper's figures plot.
+#[derive(Debug)]
+pub struct Program {
+    pub(crate) checked: Checked,
+    pub(crate) config: ExecConfig,
+    pub(crate) machine: Machine,
+    /// Iteration-space / array-shape VP sets, keyed by geometry.
+    pub(crate) spaces: HashMap<Vec<usize>, VpSetId>,
+    pub(crate) arrays: HashMap<String, ArrayStorage>,
+    pub(crate) globals: HashMap<String, Scalar>,
+    /// Parallel-context stack (innermost last).
+    pub(crate) ctx: Vec<ParCtx>,
+    /// Function activation stack.
+    pub(crate) frames: Vec<Frame>,
+    pub(crate) rand_counter: u64,
+    pub(crate) oneof_cursor: usize,
+    /// Static border-fixup masks: (space dims, axis, logical offset) →
+    /// bool field ("coordinate+offset is inside the extent"). These
+    /// depend only on geometry, so the compiler hoists them out of loops.
+    pub(crate) fixup_cache: HashMap<(Vec<usize>, usize, i64), FieldId>,
+    /// Broadcast INF fields per (space dims, element type).
+    pub(crate) inf_cache: HashMap<(Vec<usize>, ElemType), FieldId>,
+    /// Common-subexpression cache for array gathers within one
+    /// synchronous step (§4 "common sub-expression detection"): a stack
+    /// of per-step maps from (space dims, access text) to the gathered
+    /// field. Filled while predicates evaluate, consumed by arm bodies,
+    /// invalidated on writes.
+    pub(crate) cse_stack: Vec<HashMap<(Vec<usize>, String), FieldId>>,
+    /// Whether gathers may currently be inserted into the cache.
+    pub(crate) cse_fill: bool,
+    /// Index-element value fields per (space dims, axis, elements): these
+    /// depend only on geometry, so re-entering a construct (e.g. a `par`
+    /// nested in a front-end loop) reuses them instead of recomputing.
+    pub(crate) elem_cache: HashMap<(Vec<usize>, usize, Vec<i64>), FieldId>,
+}
+
+impl Program {
+    /// Compile UC source with the default configuration.
+    pub fn compile(src: &str) -> Result<Program, Diagnostics> {
+        Self::compile_with(src, ExecConfig::default())
+    }
+
+    /// Compile UC source with an explicit configuration.
+    pub fn compile_with(src: &str, config: ExecConfig) -> Result<Program, Diagnostics> {
+        Self::compile_with_defines(src, config, &[])
+    }
+
+    /// Compile with `#define` overrides — the benchmark harness uses this
+    /// to sweep problem sizes without editing source text.
+    pub fn compile_with_defines(
+        src: &str,
+        config: ExecConfig,
+        defines: &[(&str, i64)],
+    ) -> Result<Program, Diagnostics> {
+        let mut diags = Diagnostics::default();
+        let Some(mut unit) = parser::parse(src, &mut diags) else {
+            return Err(diags);
+        };
+        for (name, value) in defines {
+            if let Some(slot) = unit.defines.iter_mut().find(|(n, _)| n == name) {
+                slot.1 = *value;
+            } else {
+                unit.defines.push((name.to_string(), *value));
+            }
+        }
+        if config.constfold {
+            opt::fold_unit(&mut unit);
+        }
+        let Some(checked) = sema::check(unit, &mut diags) else {
+            return Err(diags);
+        };
+        let maps = mapping::interpret_maps(&checked, &mut diags);
+        if diags.has_errors() {
+            return Err(diags);
+        }
+        let machine = Machine::new(MachineConfig {
+            phys_procs: config.phys_procs,
+            ..MachineConfig::default()
+        });
+        let mut p = Program {
+            checked,
+            config,
+            machine,
+            spaces: HashMap::new(),
+            arrays: HashMap::new(),
+            globals: HashMap::new(),
+            ctx: Vec::new(),
+            frames: Vec::new(),
+            rand_counter: 0,
+            oneof_cursor: 0,
+            fixup_cache: HashMap::new(),
+            inf_cache: HashMap::new(),
+            cse_stack: Vec::new(),
+            cse_fill: false,
+            elem_cache: HashMap::new(),
+        };
+        p.allocate_globals(&maps).map_err(|e| {
+            let mut d = Diagnostics::default();
+            d.error(crate::span::Span::default(), format!("allocation failed: {e}"));
+            d
+        })?;
+        Ok(p)
+    }
+
+    fn allocate_globals(&mut self, maps: &[(String, ArrayMapping)]) -> RResult<()> {
+        let arrays: Vec<(String, sema::ArrayInfo)> = self
+            .checked
+            .arrays
+            .iter()
+            .map(|(n, i)| (n.clone(), i.clone()))
+            .collect();
+        for (name, info) in arrays {
+            let mapping = maps
+                .iter()
+                .rev()
+                .find(|(n, _)| *n == name)
+                .map(|(_, m)| m.clone())
+                .unwrap_or(ArrayMapping::Default);
+            let storage_shape = mapping.storage_shape(&info.shape);
+            let vp = self.space_vp(&storage_shape)?;
+            let ty = match info.ty {
+                crate::ast::Type::Float => ElemType::Float,
+                _ => ElemType::Int,
+            };
+            let field = self.machine.alloc(vp, &name, ty)?;
+            self.arrays
+                .insert(name, ArrayStorage { field, ty, shape: info.shape, mapping });
+        }
+        let scalars: Vec<(String, (crate::ast::Type, Option<i64>))> = self
+            .checked
+            .scalars
+            .iter()
+            .map(|(n, i)| (n.clone(), *i))
+            .collect();
+        for (name, (ty, init)) in scalars {
+            let v = init.unwrap_or(0);
+            let scalar = match ty {
+                crate::ast::Type::Float => Scalar::Float(v as f64),
+                _ => Scalar::Int(v),
+            };
+            self.globals.insert(name, scalar);
+        }
+        Ok(())
+    }
+
+    /// Get (or create) the VP set for a geometry. Arrays and iteration
+    /// spaces of the same shape share a VP set, which is exactly the
+    /// paper's default mapping: conforming arrays live on common
+    /// processors and element-wise operations are local.
+    pub(crate) fn space_vp(&mut self, dims: &[usize]) -> RResult<VpSetId> {
+        if let Some(vp) = self.spaces.get(dims) {
+            return Ok(*vp);
+        }
+        let name = format!(
+            "space[{}]",
+            dims.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("x")
+        );
+        let vp = self.machine.new_vp_set(&name, dims)?;
+        self.spaces.insert(dims.to_vec(), vp);
+        Ok(vp)
+    }
+
+    /// Run `main()` to completion.
+    pub fn run(&mut self) -> RResult<()> {
+        let main: FuncDef = self
+            .checked
+            .funcs
+            .get("main")
+            .cloned()
+            .ok_or_else(|| RuntimeError::Unbound("main".into()))?;
+        self.call_function(&main, Vec::new())?;
+        Ok(())
+    }
+
+    /// Elapsed simulated cycles.
+    pub fn cycles(&self) -> u64 {
+        self.machine.cycles()
+    }
+
+    /// Reset the simulated clock (e.g. after initialisation, before the
+    /// timed phase of a benchmark).
+    pub fn reset_clock(&mut self) {
+        self.machine.reset_clock();
+    }
+
+    /// Borrow the underlying machine (instruction counters, etc.).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Logical shape of a global array.
+    pub fn shape(&self, name: &str) -> Option<&[usize]> {
+        self.arrays.get(name).map(|a| a.shape.as_slice())
+    }
+
+    /// Read a global integer array in logical (row-major) order,
+    /// inverting any mapping.
+    pub fn read_int_array(&mut self, name: &str) -> RResult<Vec<i64>> {
+        let st = self
+            .arrays
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RuntimeError::Unbound(name.into()))?;
+        let data = self.machine.read_all(st.field)?;
+        let uc_cm::FieldData::I64(raw) = data else {
+            return Err(RuntimeError::NotSupported(format!("`{name}` is not an int array")));
+        };
+        let size: usize = st.shape.iter().product();
+        Ok((0..size).map(|i| raw[st.mapping.storage_index(i, &st.shape, 0)]).collect())
+    }
+
+    /// Read a global float array in logical order.
+    pub fn read_float_array(&mut self, name: &str) -> RResult<Vec<f64>> {
+        let st = self
+            .arrays
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RuntimeError::Unbound(name.into()))?;
+        let data = self.machine.read_all(st.field)?;
+        let uc_cm::FieldData::F64(raw) = data else {
+            return Err(RuntimeError::NotSupported(format!("`{name}` is not a float array")));
+        };
+        let size: usize = st.shape.iter().product();
+        Ok((0..size).map(|i| raw[st.mapping.storage_index(i, &st.shape, 0)]).collect())
+    }
+
+    /// Overwrite a global integer array from logical-order data (applies
+    /// the array's mapping, writing every replica).
+    pub fn write_int_array(&mut self, name: &str, data: &[i64]) -> RResult<()> {
+        let st = self
+            .arrays
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RuntimeError::Unbound(name.into()))?;
+        let size: usize = st.shape.iter().product();
+        if data.len() != size {
+            return Err(RuntimeError::NotSupported(format!(
+                "`{name}` has {size} elements, got {}",
+                data.len()
+            )));
+        }
+        let storage = self.machine.read_all(st.field)?;
+        let uc_cm::FieldData::I64(mut raw) = storage else {
+            return Err(RuntimeError::NotSupported(format!("`{name}` is not an int array")));
+        };
+        for r in 0..st.mapping.replicas() {
+            for (i, &v) in data.iter().enumerate() {
+                raw[st.mapping.storage_index(i, &st.shape, r)] = v;
+            }
+        }
+        self.machine.write_all(st.field, uc_cm::FieldData::I64(raw))?;
+        Ok(())
+    }
+
+    /// Read a global scalar variable.
+    pub fn read_scalar(&self, name: &str) -> Option<Scalar> {
+        self.globals.get(name).copied()
+    }
+
+    /// Names of all global scalar variables.
+    pub fn scalar_names(&self) -> Vec<String> {
+        self.globals.keys().cloned().collect()
+    }
+
+    /// Names of all global arrays.
+    pub fn array_names(&self) -> Vec<String> {
+        self.arrays.keys().cloned().collect()
+    }
+
+    /// Read a global int scalar.
+    pub fn read_int(&self, name: &str) -> Option<i64> {
+        self.globals.get(name).map(|s| s.as_int())
+    }
+
+    /// The value of a `#define` constant after overrides.
+    pub fn define(&self, name: &str) -> Option<i64> {
+        self.checked.consts.get(name).copied()
+    }
+
+    /// Emit the C* translation of this program (§5 of the paper: the
+    /// prototype UC compiler generated C* source for the CM's C*
+    /// compiler). Textual output, in the style of the paper's Appendix.
+    pub fn emit_cstar(&self) -> String {
+        crate::cstar_emit::emit_cstar(&self.checked)
+    }
+
+    // ---- internals shared by the exec submodules -------------------------
+
+    /// A fresh deterministic seed for one `rand()` instruction.
+    pub(crate) fn next_rand_seed(&mut self) -> u64 {
+        self.rand_counter += 1;
+        self.config.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(self.rand_counter)
+    }
+
+    /// Release a PV's temporary field, if it owns one.
+    pub(crate) fn release(&mut self, pv: PV) {
+        if let PV::Field { id, owned: true } = pv {
+            let _ = self.machine.free(id);
+        }
+    }
+}

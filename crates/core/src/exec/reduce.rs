@@ -1,0 +1,425 @@
+//! Reduction evaluation (§3.2 of the paper).
+//!
+//! A reduction extends the current iteration space with its index sets,
+//! evaluates each arm's operand synchronously for the enabled elements,
+//! and folds the results:
+//!
+//! * at the front end the fold is one machine `reduce` (the CM's global
+//!   combine tree);
+//! * inside a parallel construct each enclosing iteration point needs its
+//!   own fold, which compiles to a **combining router send** addressed by
+//!   the enclosing point's linear index (`p / rest`).
+//!
+//! The *processor optimization* of §4 is implemented here too: a
+//! histogram-shaped reduction `$op(I st (key[i] == j) e)` evaluated under
+//! `par (J)` does not need the full `|J|·|I|` VP set — the operand is
+//! computed on `|I|` processors and scattered by key, exactly the
+//! `10·N → N` example of the paper.
+
+use uc_cm::{BinOp, Combine, ElemType, FieldId, ReduceOp, Scalar};
+
+use super::{Program, RResult, PV};
+use crate::ast::{BinaryOp, Expr, ReduceExpr};
+use crate::token::RedOpToken;
+
+impl Program {
+    pub(crate) fn eval_reduce(&mut self, r: &ReduceExpr) -> RResult<PV> {
+        if self.config.procopt {
+            if let Some(pv) = self.try_procopt(r)? {
+                return Ok(pv);
+            }
+        }
+
+        let level = self.push_space(&r.idxs)?;
+        let result = self.eval_reduce_arms(r);
+        self.pop_space(level)?;
+        result
+    }
+
+    fn eval_reduce_arms(&mut self, r: &ReduceExpr) -> RResult<PV> {
+        let vp = self.ctx.last().unwrap().vp;
+        // Evaluate every arm mask synchronously first (they share the
+        // unpredicated enabled set).
+        let mut masks: Vec<Option<FieldId>> = Vec::with_capacity(r.arms.len());
+        for (pred, _) in &r.arms {
+            match pred {
+                Some(p) => {
+                    let m = self.eval(p)?;
+                    let m = self.truthify(m)?;
+                    let m = self.to_field(m, ElemType::Bool)?;
+                    let PV::Field { id, .. } = m else { unreachable!() };
+                    // Intentionally leak ownership into `masks`; freed below.
+                    masks.push(Some(id));
+                }
+                None => masks.push(None),
+            }
+        }
+
+        let mut partials: Vec<PV> = Vec::new();
+        for ((_, operand), mask) in r.arms.iter().zip(&masks) {
+            // Gathers under a predicate mask are only valid where that
+            // mask holds — they must not enter the step's CSE cache.
+            let fill = self.cse_fill;
+            if let Some(m) = mask {
+                self.machine.push_context(*m)?;
+                self.cse_fill = false;
+            }
+            let part = self.reduce_operand(operand, r.op);
+            if mask.is_some() {
+                self.machine.pop_context(vp)?;
+                self.cse_fill = fill;
+            }
+            partials.push(part?);
+        }
+
+        if let Some(others) = &r.others {
+            // Enabled-for-no-arm elements.
+            let or = self.machine.alloc_bool(vp, "~ored")?;
+            self.machine.fill_unconditional(or, Scalar::Bool(false))?;
+            for m in masks.iter().flatten() {
+                self.machine.binop(BinOp::LogOr, or, or, *m)?;
+            }
+            self.machine.push_context_others(or)?;
+            let fill = self.cse_fill;
+            self.cse_fill = false;
+            let part = self.reduce_operand(others, r.op);
+            self.cse_fill = fill;
+            self.machine.pop_context(vp)?;
+            self.machine.free(or)?;
+            partials.push(part?);
+        }
+
+        for m in masks.into_iter().flatten() {
+            self.machine.free(m)?;
+        }
+
+        // Fold the per-arm results with the reduction operator.
+        let mut acc = partials.remove(0);
+        for p in partials {
+            acc = self.combine_partials(r.op, acc, p)?;
+        }
+        Ok(acc)
+    }
+
+    /// Evaluate one operand under the current mask and reduce it into the
+    /// enclosing space (or to a front-end scalar).
+    fn reduce_operand(&mut self, operand: &Expr, op: RedOpToken) -> RResult<PV> {
+        let v = self.eval(operand)?;
+        // Type of the reduction: logical ops work on truth values (0/1
+        // ints); others on the operand's numeric type.
+        let logical = matches!(op, RedOpToken::And | RedOpToken::Or | RedOpToken::Xor);
+        let v = if logical {
+            let b = self.truthify(v)?;
+            self.to_field(b, ElemType::Int)?
+        } else {
+            let ty = match self.pv_type(&v)? {
+                ElemType::Float => ElemType::Float,
+                _ => ElemType::Int,
+            };
+            self.to_field(v, ty)?
+        };
+        let PV::Field { id, .. } = v else { unreachable!() };
+        let ty = self.machine.elem_type(id)?;
+
+        let result = if self.ctx.len() == 1 {
+            // Front-end reduction: one combine-tree instruction.
+            let s = self.machine.reduce(id, machine_reduce_op(op))?;
+            Ok(PV::Scalar(s))
+        } else {
+            self.reduce_into_outer(id, op, ty)
+        };
+        self.release(v);
+        result
+    }
+
+    /// Per-enclosing-point reduction via a combining send.
+    fn reduce_into_outer(&mut self, src: FieldId, op: RedOpToken, ty: ElemType) -> RResult<PV> {
+        let outer_level = self.ctx.len() - 2;
+        let outer_vp = self.ctx[outer_level].vp;
+        let addr = self.lift_addr(outer_level)?;
+        let dst = self.machine.alloc(outer_vp, "~red", ty)?;
+        let (identity, combine) = identity_combine(op, ty);
+        // Pre-fill enabled enclosing points with the identity (so empty
+        // operand sets yield it, as §3.2 requires).
+        self.machine.set_imm(dst, identity)?;
+        self.machine.send(dst, addr, src, combine)?;
+        if op == RedOpToken::Xor {
+            // Parity of the number of true operands.
+            self.machine.binop_imm(BinOp::Mod, dst, dst, Scalar::Int(2))?;
+        }
+        Ok(PV::owned(dst))
+    }
+
+    /// Combine two per-arm partial results with the reduction operator.
+    fn combine_partials(&mut self, op: RedOpToken, a: PV, b: PV) -> RResult<PV> {
+        match (a, b) {
+            (PV::Scalar(x), PV::Scalar(y)) => Ok(PV::Scalar(scalar_reduce(op, x, y))),
+            (a, b) => {
+                let ty = self.common_type(&a, &b)?;
+                // Partials live on the *enclosing* space; combine there.
+                let cur = self.ctx.pop().expect("inside reduction space");
+                let result = (|| -> RResult<PV> {
+                    let a = self.to_field(a, ty)?;
+                    let b = self.to_field(b, ty)?;
+                    let (PV::Field { id: ai, .. }, PV::Field { id: bi, .. }) = (&a, &b) else {
+                        unreachable!()
+                    };
+                    let vp = self.ctx.last().unwrap().vp;
+                    let dst = self.machine.alloc(vp, "~cmb", ty)?;
+                    match op {
+                        RedOpToken::Add => self.machine.binop(BinOp::Add, dst, *ai, *bi)?,
+                        RedOpToken::Mul => self.machine.binop(BinOp::Mul, dst, *ai, *bi)?,
+                        RedOpToken::Min => self.machine.binop(BinOp::Min, dst, *ai, *bi)?,
+                        RedOpToken::Max => self.machine.binop(BinOp::Max, dst, *ai, *bi)?,
+                        RedOpToken::And => self.machine.binop(BinOp::Min, dst, *ai, *bi)?,
+                        RedOpToken::Or => self.machine.binop(BinOp::Max, dst, *ai, *bi)?,
+                        RedOpToken::Xor => {
+                            self.machine.binop(BinOp::Add, dst, *ai, *bi)?;
+                            self.machine.binop_imm(BinOp::Mod, dst, dst, Scalar::Int(2))?;
+                        }
+                        RedOpToken::Arb => {
+                            // Prefer `a` where it is not the identity INF.
+                            let isinf = self.machine.alloc_bool(vp, "~isinf")?;
+                            self.machine.binop_imm(
+                                BinOp::Ne,
+                                isinf,
+                                *ai,
+                                super::access::inf_of(ty),
+                            )?;
+                            self.machine.select(dst, isinf, *ai, *bi)?;
+                            self.machine.free(isinf)?;
+                        }
+                    }
+                    self.release(a);
+                    self.release(b);
+                    Ok(PV::owned(dst))
+                })();
+                self.ctx.push(cur);
+                result
+            }
+        }
+    }
+
+    // ---- processor optimization (§4) --------------------------------------
+
+    /// Histogram peephole: `$op(SETS st (key == elem) operand)` under a
+    /// rank-1 enclosing space, where `key` and `operand` use only the
+    /// reduction's own sets and `elem` is the enclosing construct's index
+    /// element. Evaluated on the reduction-only space and scattered by
+    /// key — the paper's `10·N → N` processor optimization.
+    fn try_procopt(&mut self, r: &ReduceExpr) -> RResult<Option<PV>> {
+        if self.ctx.len() != 1 || self.ctx[0].dims.len() != 1 || r.arms.len() != 1 {
+            return Ok(None);
+        }
+        if r.others.is_some() {
+            return Ok(None);
+        }
+        let (Some(pred), operand) = (&r.arms[0].0, &r.arms[0].1) else {
+            return Ok(None);
+        };
+        let Expr::Binary { op: BinaryOp::Eq, lhs, rhs, .. } = pred else {
+            return Ok(None);
+        };
+        // One side must be the (sole) outer element with identity form.
+        let outer_elem = match &self.ctx[0].elems[..] {
+            [(name, _, super::space::ElemForm::AxisPlus { axis: 0, lo: 0 })] => name.clone(),
+            _ => return Ok(None),
+        };
+        let (key_expr, elem_side) = if matches!(rhs.as_ref(), Expr::Ident(n, _) if *n == outer_elem)
+        {
+            (lhs.as_ref(), rhs.as_ref())
+        } else if matches!(lhs.as_ref(), Expr::Ident(n, _) if *n == outer_elem) {
+            (rhs.as_ref(), lhs.as_ref())
+        } else {
+            return Ok(None);
+        };
+        let _ = elem_side;
+        // Key and operand must not mention any outer binding.
+        let outer_names: Vec<String> =
+            self.ctx[0].elems.iter().map(|(n, _, _)| n.clone()).collect();
+        if mentions(key_expr, &outer_names) || mentions(operand, &outer_names) {
+            return Ok(None);
+        }
+        let (identity, combine) = match r.op {
+            RedOpToken::Add => (Scalar::Int(0), Combine::Add),
+            RedOpToken::Mul => (Scalar::Int(1), Combine::Mul),
+            RedOpToken::Min => (Scalar::Int(i64::MAX), Combine::Min),
+            RedOpToken::Max => (Scalar::Int(i64::MIN), Combine::Max),
+            _ => return Ok(None),
+        };
+
+        let outer_vp = self.ctx[0].vp;
+        let outer_extent = self.ctx[0].dims[0] as i64;
+        // Evaluate key and operand on the reduction-only space.
+        let saved = std::mem::take(&mut self.ctx);
+        let result = (|| -> RResult<PV> {
+            let level = self.push_space(&r.idxs)?;
+            let inner = (|| -> RResult<PV> {
+                let key = self.eval(key_expr)?;
+                let key = self.to_field(key, ElemType::Int)?;
+                let PV::Field { id: keyf, .. } = key else { unreachable!() };
+                let val = self.eval(operand)?;
+                let val = self.to_field(val, ElemType::Int)?;
+                let PV::Field { id: valf, .. } = val else { unreachable!() };
+                let vp = self.ctx.last().unwrap().vp;
+                // Only keys inside the enclosing extent participate.
+                let ok = self.machine.alloc_bool(vp, "~kok")?;
+                self.machine.binop_imm(BinOp::Ge, ok, keyf, Scalar::Int(0))?;
+                let hi = self.machine.alloc_bool(vp, "~khi")?;
+                self.machine.binop_imm(BinOp::Lt, hi, keyf, Scalar::Int(outer_extent))?;
+                self.machine.binop(BinOp::LogAnd, ok, ok, hi)?;
+                self.machine.free(hi)?;
+                let dst = self.machine.alloc_int(outer_vp, "~hist")?;
+                self.machine.set_imm(dst, identity)?;
+                self.machine.push_context(ok)?;
+                self.machine.send(dst, keyf, valf, combine)?;
+                self.machine.pop_context(vp)?;
+                self.machine.free(ok)?;
+                self.release(key);
+                self.release(val);
+                Ok(PV::owned(dst))
+            })();
+            self.pop_space(level)?;
+            inner
+        })();
+        self.ctx = saved;
+        result.map(Some)
+    }
+}
+
+/// Does the expression mention any of the given names (as identifiers)?
+fn mentions(e: &Expr, names: &[String]) -> bool {
+    match e {
+        Expr::Ident(n, _) => names.iter().any(|x| x == n),
+        Expr::IntLit(..) | Expr::FloatLit(..) | Expr::Inf(_) => false,
+        Expr::Index { subs, .. } => subs.iter().any(|s| mentions(s, names)),
+        Expr::Call { args, .. } => args.iter().any(|a| mentions(a, names)),
+        Expr::Unary { expr, .. } => mentions(expr, names),
+        Expr::Binary { lhs, rhs, .. } => mentions(lhs, names) || mentions(rhs, names),
+        Expr::Ternary { cond, then_e, else_e, .. } => {
+            mentions(cond, names) || mentions(then_e, names) || mentions(else_e, names)
+        }
+        Expr::Assign { target, value, .. } => mentions(target, names) || mentions(value, names),
+        Expr::Reduce(r) => {
+            r.arms.iter().any(|(p, o)| {
+                p.as_ref().map(|p| mentions(p, names)).unwrap_or(false) || mentions(o, names)
+            }) || r.others.as_ref().map(|o| mentions(o, names)).unwrap_or(false)
+        }
+    }
+}
+
+/// The machine reduce op for a reduction token.
+fn machine_reduce_op(op: RedOpToken) -> ReduceOp {
+    match op {
+        RedOpToken::Add => ReduceOp::Add,
+        RedOpToken::Mul => ReduceOp::Mul,
+        RedOpToken::Min => ReduceOp::Min,
+        RedOpToken::Max => ReduceOp::Max,
+        RedOpToken::And => ReduceOp::And,
+        RedOpToken::Or => ReduceOp::Or,
+        RedOpToken::Xor => ReduceOp::Xor,
+        RedOpToken::Arb => ReduceOp::Arb,
+    }
+}
+
+/// Identity value and router combiner for per-point reductions.
+fn identity_combine(op: RedOpToken, ty: ElemType) -> (Scalar, Combine) {
+    let float = ty == ElemType::Float;
+    match op {
+        RedOpToken::Add => {
+            (if float { Scalar::Float(0.0) } else { Scalar::Int(0) }, Combine::Add)
+        }
+        RedOpToken::Mul => {
+            (if float { Scalar::Float(1.0) } else { Scalar::Int(1) }, Combine::Mul)
+        }
+        RedOpToken::Min => (
+            if float { Scalar::Float(f64::INFINITY) } else { Scalar::Int(i64::MAX) },
+            Combine::Min,
+        ),
+        RedOpToken::Max => (
+            if float { Scalar::Float(f64::NEG_INFINITY) } else { Scalar::Int(i64::MIN) },
+            Combine::Max,
+        ),
+        // Logical reductions run on 0/1 ints.
+        RedOpToken::And => (Scalar::Int(1), Combine::Min),
+        RedOpToken::Or => (Scalar::Int(0), Combine::Max),
+        RedOpToken::Xor => (Scalar::Int(0), Combine::Add),
+        RedOpToken::Arb => (
+            if float { Scalar::Float(f64::INFINITY) } else { Scalar::Int(i64::MAX) },
+            Combine::Overwrite,
+        ),
+    }
+}
+
+/// Front-end fold of two partial results.
+fn scalar_reduce(op: RedOpToken, a: Scalar, b: Scalar) -> Scalar {
+    let float = a.elem_type() == ElemType::Float || b.elem_type() == ElemType::Float;
+    if float {
+        let (x, y) = (a.as_float(), b.as_float());
+        Scalar::Float(match op {
+            RedOpToken::Add => x + y,
+            RedOpToken::Mul => x * y,
+            RedOpToken::Min => x.min(y),
+            RedOpToken::Max => x.max(y),
+            RedOpToken::And => ((x != 0.0) && (y != 0.0)) as i64 as f64,
+            RedOpToken::Or => ((x != 0.0) || (y != 0.0)) as i64 as f64,
+            RedOpToken::Xor => ((x != 0.0) ^ (y != 0.0)) as i64 as f64,
+            RedOpToken::Arb => {
+                if x != f64::INFINITY {
+                    x
+                } else {
+                    y
+                }
+            }
+        })
+    } else {
+        let (x, y) = (a.as_int(), b.as_int());
+        Scalar::Int(match op {
+            RedOpToken::Add => x.wrapping_add(y),
+            RedOpToken::Mul => x.wrapping_mul(y),
+            RedOpToken::Min => x.min(y),
+            RedOpToken::Max => x.max(y),
+            RedOpToken::And => ((x != 0) && (y != 0)) as i64,
+            RedOpToken::Or => ((x != 0) || (y != 0)) as i64,
+            RedOpToken::Xor => ((x != 0) ^ (y != 0)) as i64,
+            RedOpToken::Arb => {
+                if x != i64::MAX {
+                    x
+                } else {
+                    y
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_reduce_ops() {
+        let i = Scalar::Int;
+        assert_eq!(scalar_reduce(RedOpToken::Add, i(2), i(3)), i(5));
+        assert_eq!(scalar_reduce(RedOpToken::Min, i(2), i(3)), i(2));
+        assert_eq!(scalar_reduce(RedOpToken::Max, i(2), i(3)), i(3));
+        assert_eq!(scalar_reduce(RedOpToken::And, i(1), i(0)), i(0));
+        assert_eq!(scalar_reduce(RedOpToken::Xor, i(1), i(1)), i(0));
+        assert_eq!(scalar_reduce(RedOpToken::Arb, i(i64::MAX), i(7)), i(7));
+        assert_eq!(scalar_reduce(RedOpToken::Arb, i(4), i(7)), i(4));
+    }
+
+    #[test]
+    fn mentions_finds_names() {
+        use crate::span::Span;
+        let s = Span::default();
+        let e = Expr::Binary {
+            op: BinaryOp::Add,
+            lhs: Box::new(Expr::Ident("i".into(), s)),
+            rhs: Box::new(Expr::IntLit(1, s)),
+            span: s,
+        };
+        assert!(mentions(&e, &["i".to_string()]));
+        assert!(!mentions(&e, &["j".to_string()]));
+    }
+}

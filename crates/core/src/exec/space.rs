@@ -1,0 +1,286 @@
+//! Iteration spaces and value lifting.
+//!
+//! A parallel construct over sets `I, J` materialises a VP set shaped
+//! `[|I|, |J|]`. When constructs nest, the inner space's geometry is the
+//! outer geometry *extended* with the new sets' extents — so outer axes
+//! are a prefix of inner axes, and the linear address of the enclosing
+//! iteration point is simply `p / rest` (`rest` = product of the new
+//! extents). That quotient is how outer-space values (index elements,
+//! par-local variables, activity masks) are *lifted* onto the inner space
+//! with one router gather.
+
+use std::collections::HashMap;
+
+use uc_cm::{BinOp, ElemType, FieldId, Scalar, VpSetId};
+
+use super::{Program, RResult, RuntimeError, PV};
+use crate::sema::IndexSetInfo;
+
+/// How an index element relates to its space axis, used by the access
+/// optimizer: contiguous sets bind as `coord + lo`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ElemForm {
+    /// `value = coordinate(axis) + lo` (sets declared `{lo..hi}`).
+    AxisPlus { axis: usize, lo: i64 },
+    /// Arbitrary element list: value materialised by table lookup only.
+    Opaque,
+}
+
+/// One level of the parallel-context stack.
+#[derive(Debug)]
+pub struct ParCtx {
+    pub(crate) vp: VpSetId,
+    pub(crate) dims: Vec<usize>,
+    /// Element bindings this level introduced (name → value field on this
+    /// space), plus the symbolic form for the optimizer.
+    pub(crate) elems: Vec<(String, FieldId, ElemForm)>,
+    /// Fields to free when the level pops.
+    pub(crate) owned: Vec<FieldId>,
+    /// Number of context pushes to undo when the level pops.
+    pub(crate) pushes: usize,
+    /// Cache of lift-address fields keyed by ancestor level index.
+    pub(crate) lift_cache: HashMap<usize, FieldId>,
+}
+
+impl Program {
+    /// Push a new parallel-context level for the given index sets,
+    /// transferring the enclosing enabled set onto the extended space.
+    ///
+    /// Returns the level index (for symmetric [`Program::pop_space`]).
+    pub(crate) fn push_space(&mut self, set_names: &[String]) -> RResult<usize> {
+        let mut sets: Vec<(String, IndexSetInfo)> = Vec::with_capacity(set_names.len());
+        for name in set_names {
+            let info = self
+                .lookup_index_set(name)
+                .ok_or_else(|| RuntimeError::Unbound(name.clone()))?;
+            sets.push((name.clone(), info));
+        }
+        let outer_dims: Vec<usize> =
+            self.ctx.last().map(|c| c.dims.clone()).unwrap_or_default();
+        let mut dims = outer_dims.clone();
+        dims.extend(sets.iter().map(|(_, s)| s.elements.len()));
+        let vp = self.space_vp(&dims)?;
+
+        let mut level = ParCtx {
+            vp,
+            dims: dims.clone(),
+            elems: Vec::new(),
+            owned: Vec::new(),
+            pushes: 0,
+            lift_cache: HashMap::new(),
+        };
+
+        // Bind each set's element as a field on the new space. Done
+        // *before* the mask transfer so the value fields are valid on
+        // every VP (the base context is all-active here) — which lets
+        // them be cached and reused across re-entries of the construct.
+        debug_assert_eq!(
+            self.machine.context_depth(vp)?,
+            1,
+            "iteration space acquired with a non-base context"
+        );
+        for (axis_off, (_, info)) in sets.iter().enumerate() {
+            let axis = outer_dims.len() + axis_off;
+            let form = match contiguous_lo(&info.elements) {
+                Some(lo) => ElemForm::AxisPlus { axis, lo },
+                None => ElemForm::Opaque,
+            };
+            let key = (dims.clone(), axis, info.elements.clone());
+            let field = match self.elem_cache.get(&key) {
+                Some(&f) => f,
+                None => {
+                    let field = self.machine.alloc_int(vp, &info.elem)?;
+                    match form {
+                        ElemForm::AxisPlus { lo, .. } => {
+                            self.machine.axis_coord(field, axis)?;
+                            if lo != 0 {
+                                self.machine.binop_imm(
+                                    BinOp::Add,
+                                    field,
+                                    field,
+                                    Scalar::Int(lo),
+                                )?;
+                            }
+                        }
+                        ElemForm::Opaque => {
+                            // Arbitrary list: front-end table write.
+                            let size: usize = dims.iter().product();
+                            let stride: usize = dims[axis + 1..].iter().product();
+                            let extent = info.elements.len();
+                            let values: Vec<i64> = (0..size)
+                                .map(|p| info.elements[(p / stride) % extent])
+                                .collect();
+                            self.machine.write_all(field, uc_cm::FieldData::I64(values))?;
+                        }
+                    }
+                    self.elem_cache.insert(key, field);
+                    field
+                }
+            };
+            // Cached fields are owned by the cache, not the level.
+            level.elems.push((info.elem.clone(), field, form));
+        }
+
+        // Transfer the outer activity mask, if any, onto this space.
+        if let Some(outer) = self.ctx.last() {
+            let outer_vp = outer.vp;
+            let rest: usize = dims[outer_dims.len()..].iter().product();
+            let outer_mask = self.machine.alloc_bool(outer_vp, "~outmask")?;
+            self.machine.read_context(outer_mask)?;
+            let addr = self.machine.alloc_int(vp, "~liftaddr")?;
+            self.machine.iota(addr)?;
+            self.machine.binop_imm(BinOp::Div, addr, addr, Scalar::Int(rest as i64))?;
+            let lifted = self.machine.alloc_bool(vp, "~inmask")?;
+            self.machine.get(lifted, addr, outer_mask)?;
+            self.machine.push_context(lifted)?;
+            level.pushes += 1;
+            self.machine.free(outer_mask)?;
+            self.machine.free(lifted)?;
+            level.owned.push(addr); // keep: doubles as lift cache below
+            level.lift_cache.insert(self.ctx.len() - 1, addr);
+        }
+
+        self.ctx.push(level);
+        Ok(self.ctx.len() - 1)
+    }
+
+    /// Pop a parallel-context level, undoing its context pushes and
+    /// freeing its fields.
+    pub(crate) fn pop_space(&mut self, level: usize) -> RResult<()> {
+        debug_assert_eq!(level + 1, self.ctx.len(), "unbalanced space push/pop");
+        let ctx = self.ctx.pop().expect("pop_space on empty stack");
+        for _ in 0..ctx.pushes {
+            self.machine.pop_context(ctx.vp)?;
+        }
+        for f in ctx.owned {
+            let _ = self.machine.free(f);
+        }
+        Ok(())
+    }
+
+    /// The current iteration space, if any.
+    pub(crate) fn cur_space(&self) -> Option<&ParCtx> {
+        self.ctx.last()
+    }
+
+    /// Lift a field living on ctx level `from_level` onto the current
+    /// (innermost) space. Returns an owned temporary (or the field itself,
+    /// un-owned, when already on the current space).
+    pub(crate) fn lift_to_current(&mut self, field: FieldId, from_level: usize) -> RResult<PV> {
+        let cur_level = self.ctx.len() - 1;
+        if from_level == cur_level {
+            return Ok(PV::Field { id: field, owned: false });
+        }
+        debug_assert!(from_level < cur_level);
+        let addr = self.lift_addr(from_level)?;
+        let cur_vp = self.ctx[cur_level].vp;
+        let ty = self.machine.elem_type(field)?;
+        let dst = self.machine.alloc(cur_vp, "~lift", ty)?;
+        self.machine.get(dst, addr, field)?;
+        Ok(PV::owned(dst))
+    }
+
+    /// The (cached) lift-address field on the current space addressing
+    /// ancestor level `from_level`.
+    pub(crate) fn lift_addr(&mut self, from_level: usize) -> RResult<FieldId> {
+        let cur_level = self.ctx.len() - 1;
+        if let Some(&f) = self.ctx[cur_level].lift_cache.get(&from_level) {
+            return Ok(f);
+        }
+        let cur = &self.ctx[cur_level];
+        let anc = &self.ctx[from_level];
+        let rest: usize = cur.dims[anc.dims.len()..].iter().product();
+        let vp = cur.vp;
+        let addr = self.machine.alloc_int(vp, "~liftaddr")?;
+        self.machine.iota(addr)?;
+        self.machine.binop_imm(BinOp::Div, addr, addr, Scalar::Int(rest as i64))?;
+        let cur = &mut self.ctx[cur_level];
+        cur.owned.push(addr);
+        cur.lift_cache.insert(from_level, addr);
+        Ok(addr)
+    }
+
+    /// Materialise a PV as a field of the requested type on the current
+    /// space (broadcasting scalars, converting when needed). Returns an
+    /// owned field unless the PV already is a field of the right type.
+    pub(crate) fn to_field(&mut self, pv: PV, ty: ElemType) -> RResult<PV> {
+        let cur_vp = self
+            .cur_space()
+            .map(|c| c.vp)
+            .ok_or_else(|| RuntimeError::NotSupported("field outside parallel context".into()))?;
+        match pv {
+            PV::Scalar(s) => {
+                let dst = self.machine.alloc(cur_vp, "~bcast", ty)?;
+                let coerced = coerce_scalar(s, ty);
+                self.machine.fill_unconditional(dst, coerced)?;
+                Ok(PV::owned(dst))
+            }
+            PV::Field { id, owned } => {
+                let actual = self.machine.elem_type(id)?;
+                if actual == ty {
+                    Ok(PV::Field { id, owned })
+                } else {
+                    let dst = self.machine.alloc(cur_vp, "~conv", ty)?;
+                    self.machine.convert(dst, id)?;
+                    if owned {
+                        self.machine.free(id)?;
+                    }
+                    Ok(PV::owned(dst))
+                }
+            }
+        }
+    }
+
+    /// Look up an index set through local scopes then globals.
+    pub(crate) fn lookup_index_set(&self, name: &str) -> Option<IndexSetInfo> {
+        if let Some(frame) = self.frames.last() {
+            for scope in frame.scopes.iter().rev() {
+                if let Some(info) = scope.index_sets.get(name) {
+                    return Some(info.clone());
+                }
+            }
+        }
+        self.checked.index_set(name).cloned()
+    }
+}
+
+/// Coerce a front-end scalar to an element type (C-style).
+pub(crate) fn coerce_scalar(s: Scalar, ty: ElemType) -> Scalar {
+    match ty {
+        ElemType::Int => Scalar::Int(s.as_int()),
+        ElemType::Float => Scalar::Float(s.as_float()),
+        ElemType::Bool => Scalar::Bool(s.as_bool()),
+    }
+}
+
+/// If `elements` is `lo, lo+1, ..., hi`, return `lo`.
+fn contiguous_lo(elements: &[i64]) -> Option<i64> {
+    let lo = *elements.first()?;
+    for (k, &v) in elements.iter().enumerate() {
+        if v != lo + k as i64 {
+            return None;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_detection() {
+        assert_eq!(contiguous_lo(&[0, 1, 2, 3]), Some(0));
+        assert_eq!(contiguous_lo(&[5, 6, 7]), Some(5));
+        assert_eq!(contiguous_lo(&[-2, -1, 0]), Some(-2));
+        assert_eq!(contiguous_lo(&[4, 2, 9]), None);
+        assert_eq!(contiguous_lo(&[]), None);
+    }
+
+    #[test]
+    fn scalar_coercion() {
+        assert_eq!(coerce_scalar(Scalar::Float(2.9), ElemType::Int), Scalar::Int(2));
+        assert_eq!(coerce_scalar(Scalar::Int(1), ElemType::Bool), Scalar::Bool(true));
+        assert_eq!(coerce_scalar(Scalar::Bool(true), ElemType::Float), Scalar::Float(1.0));
+    }
+}

@@ -1,0 +1,915 @@
+//! Statement execution and the four UC constructs.
+
+use uc_cm::{BinOp, ElemType, FieldId, ReduceOp, Scalar};
+
+use super::space::coerce_scalar;
+use super::{ArrayStorage, Frame, LocalVar, Program, RResult, RuntimeError, Scope, PV};
+use crate::ast::{Block, Expr, FuncDef, IndexSetDef, IndexSetInit, ScBlock, Stmt, Type, UcKind, UcStmt};
+use crate::mapping::ArrayMapping;
+use crate::sema::IndexSetInfo;
+
+/// Front-end control flow.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum Flow {
+    Normal,
+    Return(Option<Scalar>),
+    Break,
+    Continue,
+}
+
+impl Program {
+    /// Call a user function with scalar arguments.
+    pub(crate) fn call_function(
+        &mut self,
+        f: &FuncDef,
+        args: Vec<Scalar>,
+    ) -> RResult<Option<Scalar>> {
+        if self.frames.len() > 256 {
+            return Err(RuntimeError::IterationLimit("function recursion"));
+        }
+        let mut scope = Scope::default();
+        for ((ty, name), v) in f.params.iter().zip(args) {
+            let ty = match ty {
+                Type::Float => ElemType::Float,
+                _ => ElemType::Int,
+            };
+            scope.vars.insert(name.clone(), LocalVar::Scalar(coerce_scalar(v, ty)));
+        }
+        self.frames.push(Frame { scopes: vec![scope] });
+        // A user function runs on the front end even when called from a
+        // parallel construct (its arguments are scalars); hide the
+        // caller's iteration spaces for the duration of the call. The
+        // machine-side context masks stay pushed — front-end element
+        // access ignores them.
+        let saved_ctx = std::mem::take(&mut self.ctx);
+        let flow = self.exec_block(&f.body);
+        self.ctx = saved_ctx;
+        let frame = self.frames.pop().expect("frame pushed above");
+        self.free_frame(frame);
+        match flow? {
+            Flow::Return(v) => Ok(v),
+            _ => Ok(None),
+        }
+    }
+
+    fn free_frame(&mut self, frame: Frame) {
+        for scope in frame.scopes {
+            self.free_scope_vars(scope);
+        }
+    }
+
+    fn free_scope_vars(&mut self, scope: Scope) {
+        for (_, var) in scope.vars {
+            match var {
+                LocalVar::ParField { field, .. } => {
+                    let _ = self.machine.free(field);
+                }
+                LocalVar::Array(st) => {
+                    let _ = self.machine.free(st.field);
+                }
+                LocalVar::Scalar(_) => {}
+            }
+        }
+    }
+
+    pub(crate) fn exec_block(&mut self, b: &Block) -> RResult<Flow> {
+        self.frames.last_mut().expect("inside a frame").scopes.push(Scope::default());
+        let mut flow = Flow::Normal;
+        for s in &b.stmts {
+            match self.exec_stmt(s) {
+                Ok(Flow::Normal) => {}
+                other => {
+                    flow = match other {
+                        Ok(f) => f,
+                        Err(e) => {
+                            let scope =
+                                self.frames.last_mut().expect("frame").scopes.pop().unwrap();
+                            self.free_scope_vars(scope);
+                            return Err(e);
+                        }
+                    };
+                    break;
+                }
+            }
+        }
+        let scope = self.frames.last_mut().expect("frame").scopes.pop().unwrap();
+        self.free_scope_vars(scope);
+        Ok(flow)
+    }
+
+    pub(crate) fn exec_stmt(&mut self, s: &Stmt) -> RResult<Flow> {
+        match s {
+            Stmt::Empty => Ok(Flow::Normal),
+            Stmt::Expr(e) => {
+                // `swap` is a statement-level builtin: read both operands
+                // synchronously, then store crosswise.
+                if let Expr::Call { name, args, .. } = e {
+                    if name == "swap" {
+                        let a = self.eval(&args[0])?;
+                        let b = self.eval(&args[1])?;
+                        let a = self.store(&args[1], a, true)?;
+                        let b = self.store(&args[0], b, true)?;
+                        self.release(a);
+                        self.release(b);
+                        return Ok(Flow::Normal);
+                    }
+                }
+                let v = self.eval(e)?;
+                self.release(v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Decl(v) => {
+                self.exec_decl(v)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::IndexSets(defs) => {
+                for def in defs {
+                    let info = self.eval_index_set_def(def)?;
+                    self.frames
+                        .last_mut()
+                        .expect("frame")
+                        .scopes
+                        .last_mut()
+                        .expect("scope")
+                        .index_sets
+                        .insert(def.name.clone(), info);
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Block(b) => self.exec_block(b),
+            Stmt::If { cond, then_branch, else_branch, .. } => {
+                if !self.ctx.is_empty() {
+                    return Err(RuntimeError::NotSupported(
+                        "`if` inside a parallel construct (use `st` predicates)".into(),
+                    ));
+                }
+                if self.eval_scalar(cond)?.as_bool() {
+                    self.exec_stmt(then_branch)
+                } else if let Some(e) = else_branch {
+                    self.exec_stmt(e)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                if !self.ctx.is_empty() {
+                    return Err(RuntimeError::NotSupported(
+                        "`while` inside a parallel construct".into(),
+                    ));
+                }
+                let mut iters = 0u64;
+                while self.eval_scalar(cond)?.as_bool() {
+                    iters += 1;
+                    if iters > self.config.max_iterations {
+                        return Err(RuntimeError::IterationLimit("while loop"));
+                    }
+                    match self.exec_stmt(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        _ => {}
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                if !self.ctx.is_empty() {
+                    return Err(RuntimeError::NotSupported(
+                        "`for` inside a parallel construct".into(),
+                    ));
+                }
+                if let Some(e) = init {
+                    let v = self.eval(e)?;
+                    self.release(v);
+                }
+                let mut iters = 0u64;
+                loop {
+                    if let Some(c) = cond {
+                        if !self.eval_scalar(c)?.as_bool() {
+                            break;
+                        }
+                    }
+                    iters += 1;
+                    if iters > self.config.max_iterations {
+                        return Err(RuntimeError::IterationLimit("for loop"));
+                    }
+                    match self.exec_stmt(body)? {
+                        Flow::Break => break,
+                        Flow::Return(v) => return Ok(Flow::Return(v)),
+                        _ => {}
+                    }
+                    if let Some(e) = step {
+                        let v = self.eval(e)?;
+                        self.release(v);
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return(e, _) => {
+                if !self.ctx.is_empty() {
+                    return Err(RuntimeError::NotSupported(
+                        "`return` inside a parallel construct".into(),
+                    ));
+                }
+                let v = match e {
+                    Some(e) => Some(self.eval_scalar(e)?),
+                    None => None,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break(_) => Ok(Flow::Break),
+            Stmt::Continue(_) => Ok(Flow::Continue),
+            Stmt::Uc(uc) => {
+                self.exec_uc(uc)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn exec_decl(&mut self, v: &crate::ast::VarDecl) -> RResult<()> {
+        let ty = match v.ty {
+            Type::Float => ElemType::Float,
+            _ => ElemType::Int,
+        };
+        let var = if v.dims.is_empty() {
+            if self.ctx.is_empty() {
+                let init = match &v.init {
+                    Some(e) => coerce_scalar(self.eval_scalar(e)?, ty),
+                    None => coerce_scalar(Scalar::Int(0), ty),
+                };
+                LocalVar::Scalar(init)
+            } else {
+                // A per-VP temporary on the current space (§3.4 ranksort's
+                // `int rank;`).
+                let vp = self.ctx.last().unwrap().vp;
+                let field = self.machine.alloc(vp, &v.name, ty)?;
+                if let Some(e) = &v.init {
+                    let pv = self.eval(e)?;
+                    let pv = self.to_field(pv, ty)?;
+                    let PV::Field { id, .. } = pv else { unreachable!() };
+                    self.machine.copy(field, id)?;
+                    self.release(pv);
+                }
+                LocalVar::ParField { field, level: self.ctx.len() - 1 }
+            }
+        } else {
+            if !self.ctx.is_empty() {
+                return Err(RuntimeError::NotSupported(
+                    "array declarations inside a parallel construct".into(),
+                ));
+            }
+            let mut shape = Vec::with_capacity(v.dims.len());
+            for d in &v.dims {
+                let n = self
+                    .try_pure_scalar(d)
+                    .ok_or_else(|| {
+                        RuntimeError::NotSupported("non-constant array extent".into())
+                    })?
+                    .as_int();
+                if n <= 0 {
+                    return Err(RuntimeError::NotSupported("non-positive array extent".into()));
+                }
+                shape.push(n as usize);
+            }
+            let vp = self.space_vp(&shape)?;
+            let field = self.machine.alloc(vp, &v.name, ty)?;
+            LocalVar::Array(ArrayStorage { field, ty, shape, mapping: ArrayMapping::Default })
+        };
+        self.frames
+            .last_mut()
+            .expect("frame")
+            .scopes
+            .last_mut()
+            .expect("scope")
+            .vars
+            .insert(v.name.clone(), var);
+        Ok(())
+    }
+
+    fn eval_index_set_def(&mut self, def: &IndexSetDef) -> RResult<IndexSetInfo> {
+        let elements = match &def.init {
+            IndexSetInit::Range(lo, hi) => {
+                let lo = self.eval_scalar(lo)?.as_int();
+                let hi = self.eval_scalar(hi)?.as_int();
+                if hi < lo {
+                    return Err(RuntimeError::NotSupported(format!(
+                        "index set `{}` has an empty range",
+                        def.name
+                    )));
+                }
+                (lo..=hi).collect()
+            }
+            IndexSetInit::List(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for e in items {
+                    out.push(self.eval_scalar(e)?.as_int());
+                }
+                out
+            }
+            IndexSetInit::Alias(src) => {
+                self.lookup_index_set(src)
+                    .ok_or_else(|| RuntimeError::Unbound(src.clone()))?
+                    .elements
+            }
+        };
+        Ok(IndexSetInfo { elem: def.elem.clone(), elements })
+    }
+
+    // ---- the four constructs ----------------------------------------------
+
+    fn exec_uc(&mut self, uc: &UcStmt) -> RResult<()> {
+        match uc.kind {
+            UcKind::Par => self.exec_par(uc),
+            UcKind::Seq => self.exec_seq(uc),
+            UcKind::Oneof => self.exec_oneof(uc),
+            UcKind::Solve => {
+                if uc.star {
+                    self.exec_star_solve(uc)
+                } else {
+                    self.exec_solve(uc)
+                }
+            }
+        }
+    }
+
+    /// Execute a parallel body statement, rejecting front-end flow.
+    fn exec_par_body(&mut self, s: &Stmt) -> RResult<()> {
+        match self.exec_stmt(s)? {
+            Flow::Normal => Ok(()),
+            _ => Err(RuntimeError::NotSupported(
+                "return/break/continue inside a parallel construct".into(),
+            )),
+        }
+    }
+
+    fn exec_par(&mut self, uc: &UcStmt) -> RResult<()> {
+        let level = self.push_space(&uc.idxs)?;
+        let result = (|| -> RResult<()> {
+            if !uc.star {
+                self.run_arms(uc, false)?;
+                return Ok(());
+            }
+            let mut iters = 0u64;
+            loop {
+                iters += 1;
+                if iters > self.config.max_iterations {
+                    return Err(RuntimeError::IterationLimit("*par"));
+                }
+                if !self.run_arms(uc, true)? {
+                    break;
+                }
+            }
+            Ok(())
+        })();
+        self.pop_space(level)?;
+        result
+    }
+
+    /// Execute all arms (and `others`) of a par-style construct once.
+    /// When `need_enabled` (the `*` forms), returns whether any arm was
+    /// enabled — a global-OR test the compiler omits for plain constructs.
+    fn run_arms(&mut self, uc: &UcStmt, need_enabled: bool) -> RResult<bool> {
+        let vp = self.ctx.last().unwrap().vp;
+        // Evaluate every predicate first, synchronously, against the state
+        // at the start of the step (the paper's semantics for a step).
+        // Array gathers computed here are cached for reuse by the arm
+        // bodies (§4's common-subexpression detection): bodies run under
+        // masks that are strict subsets of the predicate's, so the cached
+        // values are correct everywhere the bodies look.
+        self.cse_push();
+        let prev_fill = self.cse_fill;
+        self.cse_fill = true;
+        let mut masks: Vec<Option<FieldId>> = Vec::with_capacity(uc.arms.len());
+        let mut enabled = false;
+        let mut pred_err = None;
+        for ScBlock { pred, .. } in &uc.arms {
+            match pred {
+                Some(p) => {
+                    let r = (|| -> RResult<FieldId> {
+                        let m = self.eval(p)?;
+                        let m = self.truthify(m)?;
+                        let m = self.to_field(m, ElemType::Bool)?;
+                        let PV::Field { id, .. } = m else { unreachable!() };
+                        Ok(id)
+                    })();
+                    match r {
+                        Ok(id) => masks.push(Some(id)),
+                        Err(e) => {
+                            pred_err = Some(e);
+                            break;
+                        }
+                    }
+                }
+                None => masks.push(None),
+            }
+        }
+        self.cse_fill = prev_fill;
+        if let Some(e) = pred_err {
+            for m in masks.into_iter().flatten() {
+                let _ = self.machine.free(m);
+            }
+            self.cse_pop();
+            return Err(e);
+        }
+        if need_enabled {
+            for m in &masks {
+                match m {
+                    Some(id) => {
+                        if !enabled && self.machine.reduce(*id, ReduceOp::Or)?.as_bool() {
+                            enabled = true;
+                        }
+                    }
+                    None => {
+                        if !enabled && self.machine.any_active(vp)? {
+                            enabled = true;
+                        }
+                    }
+                }
+            }
+        }
+        let run = (|| -> RResult<()> {
+            for (ScBlock { body, .. }, mask) in uc.arms.iter().zip(&masks) {
+                match mask {
+                    Some(m) => {
+                        self.machine.push_context(*m)?;
+                        let r = self.exec_par_body(body);
+                        self.machine.pop_context(vp)?;
+                        r?;
+                    }
+                    None => self.exec_par_body(body)?,
+                }
+            }
+            if let Some(others) = &uc.others {
+                let or = self.machine.alloc_bool(vp, "~ormask")?;
+                self.machine.fill_unconditional(or, Scalar::Bool(false))?;
+                for m in masks.iter().flatten() {
+                    self.machine.binop(BinOp::LogOr, or, or, *m)?;
+                }
+                self.machine.push_context_others(or)?;
+                let r = self.exec_par_body(others);
+                self.machine.pop_context(vp)?;
+                self.machine.free(or)?;
+                r?;
+            }
+            Ok(())
+        })();
+        for m in masks.into_iter().flatten() {
+            let _ = self.machine.free(m);
+        }
+        self.cse_pop();
+        run?;
+        Ok(enabled)
+    }
+
+    fn exec_seq(&mut self, uc: &UcStmt) -> RResult<()> {
+        let set = self
+            .lookup_index_set(&uc.idxs[0])
+            .ok_or_else(|| RuntimeError::Unbound(uc.idxs[0].clone()))?;
+        self.frames.last_mut().expect("frame").scopes.push(Scope::default());
+        let result = (|| -> RResult<()> {
+            let mut iters = 0u64;
+            loop {
+                iters += 1;
+                if iters > self.config.max_iterations {
+                    return Err(RuntimeError::IterationLimit("*seq"));
+                }
+                let mut any_enabled = false;
+                for &v in &set.elements {
+                    self.frames
+                        .last_mut()
+                        .expect("frame")
+                        .scopes
+                        .last_mut()
+                        .expect("scope")
+                        .vars
+                        .insert(set.elem.clone(), LocalVar::Scalar(Scalar::Int(v)));
+                    any_enabled |= self.exec_seq_element(uc)?;
+                }
+                if !uc.star || !any_enabled {
+                    break;
+                }
+            }
+            Ok(())
+        })();
+        let scope = self.frames.last_mut().expect("frame").scopes.pop().unwrap();
+        self.free_scope_vars(scope);
+        result
+    }
+
+    /// One element of a seq sweep. Returns whether any arm was enabled.
+    fn exec_seq_element(&mut self, uc: &UcStmt) -> RResult<bool> {
+        let mut enabled = false;
+        if self.ctx.is_empty() {
+            // Front-end: predicates gate execution per element.
+            let mut any_arm = false;
+            for ScBlock { pred, body } in &uc.arms {
+                let on = match pred {
+                    Some(p) => self.eval_scalar(p)?.as_bool(),
+                    None => true,
+                };
+                if on {
+                    any_arm = true;
+                    enabled = true;
+                    match self.exec_stmt(body)? {
+                        Flow::Normal => {}
+                        _ => {
+                            return Err(RuntimeError::NotSupported(
+                                "return/break/continue inside seq".into(),
+                            ))
+                        }
+                    }
+                }
+            }
+            if !any_arm {
+                if let Some(others) = &uc.others {
+                    match self.exec_stmt(others)? {
+                        Flow::Normal => {}
+                        _ => {
+                            return Err(RuntimeError::NotSupported(
+                                "return/break/continue inside seq".into(),
+                            ))
+                        }
+                    }
+                }
+            }
+        } else {
+            // Inside a parallel construct: predicates become masks over
+            // the enclosing space (Figure 3's partial sums).
+            enabled = self.run_arms(uc, uc.star)?;
+        }
+        Ok(enabled)
+    }
+
+    fn exec_oneof(&mut self, uc: &UcStmt) -> RResult<()> {
+        if uc.others.is_some() {
+            return Err(RuntimeError::NotSupported("`others` on a oneof statement".into()));
+        }
+        let level = self.push_space(&uc.idxs)?;
+        let result = (|| -> RResult<()> {
+            let vp = self.ctx.last().unwrap().vp;
+            let mut iters = 0u64;
+            loop {
+                iters += 1;
+                if iters > self.config.max_iterations {
+                    return Err(RuntimeError::IterationLimit("*oneof"));
+                }
+                // Find the enabled arms.
+                let mut masks: Vec<Option<FieldId>> = Vec::new();
+                let mut enabled: Vec<usize> = Vec::new();
+                for (k, ScBlock { pred, .. }) in uc.arms.iter().enumerate() {
+                    match pred {
+                        Some(p) => {
+                            let m = self.eval(p)?;
+                            let m = self.truthify(m)?;
+                            let m = self.to_field(m, ElemType::Bool)?;
+                            let PV::Field { id, .. } = m else { unreachable!() };
+                            if self.machine.reduce(id, ReduceOp::Or)?.as_bool() {
+                                enabled.push(k);
+                            }
+                            masks.push(Some(id));
+                        }
+                        None => {
+                            if self.machine.any_active(vp)? {
+                                enabled.push(k);
+                            }
+                            masks.push(None);
+                        }
+                    }
+                }
+                let chosen = if enabled.is_empty() {
+                    None
+                } else {
+                    // Deterministic rotation through the enabled arms; the
+                    // paper guarantees no fairness, so any choice is valid.
+                    let pick = enabled[self.oneof_cursor % enabled.len()];
+                    self.oneof_cursor = self.oneof_cursor.wrapping_add(1);
+                    Some(pick)
+                };
+                let run = match chosen {
+                    Some(k) => {
+                        let body = &uc.arms[k].body;
+                        match masks[k] {
+                            Some(m) => {
+                                self.machine.push_context(m)?;
+                                let r = self.exec_par_body(body);
+                                self.machine.pop_context(vp)?;
+                                r
+                            }
+                            None => self.exec_par_body(body),
+                        }
+                    }
+                    None => Ok(()),
+                };
+                for m in masks.into_iter().flatten() {
+                    let _ = self.machine.free(m);
+                }
+                run?;
+                if chosen.is_none() || !uc.star {
+                    break;
+                }
+            }
+            Ok(())
+        })();
+        self.pop_space(level)?;
+        result
+    }
+
+    // ---- solve --------------------------------------------------------------
+
+    /// Collect `(target, value)` assignment pairs from solve arms.
+    fn solve_assignments(s: &Stmt, out: &mut Vec<(Expr, Expr)>) {
+        match s {
+            Stmt::Expr(Expr::Assign { target, value, op: None, .. }) => {
+                out.push((target.as_ref().clone(), value.as_ref().clone()));
+            }
+            Stmt::Expr(Expr::Assign { target, value, op: Some(op), span }) => {
+                // Compound assignment: rewrite `t op= v` as `t = t op v`
+                // (only reachable under *solve, where sema allows it).
+                let rhs = Expr::Binary {
+                    op: *op,
+                    lhs: Box::new(target.as_ref().clone()),
+                    rhs: Box::new(value.as_ref().clone()),
+                    span: *span,
+                };
+                out.push((target.as_ref().clone(), rhs));
+            }
+            Stmt::Block(b) => {
+                for s in &b.stmts {
+                    Self::solve_assignments(s, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// `solve`: execute a proper set of single assignments in dependency
+    /// order, via the paper's general translation — iterate, executing an
+    /// assignment for exactly those elements whose right-hand side is
+    /// fully defined and which have not executed yet, until no progress.
+    fn exec_solve(&mut self, uc: &UcStmt) -> RResult<()> {
+        let level = self.push_space(&uc.idxs)?;
+        let result = self.exec_solve_inner(uc);
+        self.pop_space(level)?;
+        result
+    }
+
+    fn exec_solve_inner(&mut self, uc: &UcStmt) -> RResult<()> {
+        let vp = self.ctx.last().unwrap().vp;
+        let mut assigns = Vec::new();
+        for arm in &uc.arms {
+            if arm.pred.is_some() {
+                return Err(RuntimeError::NotSupported(
+                    "st predicates on solve statements".into(),
+                ));
+            }
+            Self::solve_assignments(&arm.body, &mut assigns);
+        }
+        // Defined-bitmaps for every target array.
+        let mut def_maps: Vec<(String, ArrayStorage)> = Vec::new();
+        for (target, _) in &assigns {
+            let Expr::Index { base, .. } = target else {
+                return Err(RuntimeError::NotSupported(
+                    "solve targets must be array elements".into(),
+                ));
+            };
+            if def_maps.iter().any(|(n, _)| n == base) {
+                continue;
+            }
+            let st = self.array_storage(base)?;
+            let storage_shape = st.mapping.storage_shape(&st.shape);
+            let dvp = self.space_vp(&storage_shape)?;
+            let dfield = self.machine.alloc_bool(dvp, "~defined")?;
+            self.machine.fill_unconditional(dfield, Scalar::Bool(false))?;
+            def_maps.push((
+                base.clone(),
+                ArrayStorage {
+                    field: dfield,
+                    ty: ElemType::Bool,
+                    shape: st.shape.clone(),
+                    mapping: st.mapping.clone(),
+                },
+            ));
+        }
+
+        let run = (|| -> RResult<()> {
+            let mut iters = 0u64;
+            loop {
+                iters += 1;
+                if iters > self.config.max_iterations {
+                    return Err(RuntimeError::IterationLimit("solve"));
+                }
+                let mut progress = false;
+                for (target, value) in &assigns {
+                    let Expr::Index { base, subs, .. } = target else { unreachable!() };
+                    let def_st =
+                        def_maps.iter().find(|(n, _)| n == base).map(|(_, s)| s.clone()).unwrap();
+                    // ready = !defined(target) && rhs_defined
+                    let tdef = self.read_defined(&def_st, subs)?;
+                    let PV::Field { id: tdef_id, .. } = tdef else { unreachable!() };
+                    let ready = self.machine.alloc_bool(vp, "~ready")?;
+                    self.machine.unop(uc_cm::UnOp::Not, ready, tdef_id)?;
+                    self.release(tdef);
+                    let rdef = self.rhs_defined(value, &def_maps)?;
+                    if let PV::Field { id, .. } = rdef {
+                        self.machine.binop(BinOp::LogAnd, ready, ready, id)?;
+                    }
+                    self.release(rdef);
+                    let any = self.machine.reduce(ready, ReduceOp::Or)?.as_bool();
+                    if any {
+                        self.machine.push_context(ready)?;
+                        let r = (|| -> RResult<()> {
+                            let v = self.eval(value)?;
+                            let v = self.store(target, v, true)?;
+                            self.release(v);
+                            // Mark the just-written elements defined.
+                            self.write_array_storage(&def_st, subs, PV::Scalar(Scalar::Bool(true)))?;
+                            Ok(())
+                        })();
+                        self.machine.pop_context(vp)?;
+                        r?;
+                        progress = true;
+                    }
+                    self.machine.free(ready)?;
+                }
+                if !progress {
+                    break;
+                }
+            }
+            Ok(())
+        })();
+        for (_, st) in def_maps {
+            let _ = self.machine.free(st.field);
+        }
+        run
+    }
+
+    /// Gather a defined-bitmap at the target subscripts.
+    fn read_defined(&mut self, def_st: &ArrayStorage, subs: &[Expr]) -> RResult<PV> {
+        // Reuse the general read path by temporarily registering the
+        // bitmap under a reserved name.
+        self.read_storage(def_st, subs)
+    }
+
+    /// Definedness of an expression's value per element of the current
+    /// space: all array reads of solve-target arrays must be defined.
+    fn rhs_defined(
+        &mut self,
+        e: &Expr,
+        def_maps: &[(String, ArrayStorage)],
+    ) -> RResult<PV> {
+        match e {
+            Expr::IntLit(..) | Expr::FloatLit(..) | Expr::Inf(_) | Expr::Ident(..) => {
+                Ok(PV::Scalar(Scalar::Bool(true)))
+            }
+            Expr::Index { base, subs, .. } => {
+                match def_maps.iter().find(|(n, _)| n == base) {
+                    Some((_, def_st)) => {
+                        let def_st = def_st.clone();
+                        let elem_def = self.read_storage(&def_st, subs)?;
+                        // Subscripts themselves may read target arrays.
+                        let mut acc = elem_def;
+                        for s in subs {
+                            let sub_def = self.rhs_defined(s, def_maps)?;
+                            acc = self.and_defined(acc, sub_def)?;
+                        }
+                        Ok(acc)
+                    }
+                    None => {
+                        let mut acc = PV::Scalar(Scalar::Bool(true));
+                        for s in subs {
+                            let sub_def = self.rhs_defined(s, def_maps)?;
+                            acc = self.and_defined(acc, sub_def)?;
+                        }
+                        Ok(acc)
+                    }
+                }
+            }
+            Expr::Unary { expr, .. } => self.rhs_defined(expr, def_maps),
+            Expr::Binary { lhs, rhs, .. } => {
+                let l = self.rhs_defined(lhs, def_maps)?;
+                let r = self.rhs_defined(rhs, def_maps)?;
+                self.and_defined(l, r)
+            }
+            Expr::Ternary { cond, then_e, else_e, .. } => {
+                // defined(cond) && (cond ? defined(then) : defined(else))
+                let cdef = self.rhs_defined(cond, def_maps)?;
+                let tdef = self.rhs_defined(then_e, def_maps)?;
+                let edef = self.rhs_defined(else_e, def_maps)?;
+                let branch = match (&tdef, &edef) {
+                    (PV::Scalar(a), PV::Scalar(b)) if a.as_bool() && b.as_bool() => {
+                        PV::Scalar(Scalar::Bool(true))
+                    }
+                    _ => {
+                        let c = self.eval(cond)?;
+                        let c = self.truthify(c)?;
+                        let c = self.to_field(c, ElemType::Bool)?;
+                        let t = self.to_field(tdef, ElemType::Bool)?;
+                        let f = self.to_field(edef, ElemType::Bool)?;
+                        let (
+                            PV::Field { id: ci, .. },
+                            PV::Field { id: ti, .. },
+                            PV::Field { id: fi, .. },
+                        ) = (&c, &t, &f)
+                        else {
+                            unreachable!()
+                        };
+                        let vp = self.ctx.last().unwrap().vp;
+                        let dst = self.machine.alloc_bool(vp, "~bdef")?;
+                        self.machine.select(dst, *ci, *ti, *fi)?;
+                        self.release(c);
+                        let t2 = t;
+                        let f2 = f;
+                        self.release(t2);
+                        self.release(f2);
+                        PV::owned(dst)
+                    }
+                };
+                self.and_defined(cdef, branch)
+            }
+            Expr::Call { args, .. } => {
+                let mut acc = PV::Scalar(Scalar::Bool(true));
+                for a in args {
+                    let d = self.rhs_defined(a, def_maps)?;
+                    acc = self.and_defined(acc, d)?;
+                }
+                Ok(acc)
+            }
+            Expr::Assign { .. } | Expr::Reduce(_) => Err(RuntimeError::NotSupported(
+                "assignments/reductions in solve right-hand sides (use *solve)".into(),
+            )),
+        }
+    }
+
+    fn and_defined(&mut self, a: PV, b: PV) -> RResult<PV> {
+        match (&a, &b) {
+            (PV::Scalar(x), _) if x.as_bool() => Ok(b),
+            (_, PV::Scalar(y)) if y.as_bool() => Ok(a),
+            _ => self.apply_binary(crate::ast::BinaryOp::LogAnd, a, b),
+        }
+    }
+
+    /// `*solve`: iterate the assignments to a fixed point, detecting
+    /// quiescence by comparing snapshots — the compiler-managed state
+    /// saving the paper contrasts with a hand-written `*par` (§3.6).
+    fn exec_star_solve(&mut self, uc: &UcStmt) -> RResult<()> {
+        let level = self.push_space(&uc.idxs)?;
+        let result = (|| -> RResult<()> {
+            let mut assigns = Vec::new();
+            for arm in &uc.arms {
+                if arm.pred.is_some() {
+                    return Err(RuntimeError::NotSupported(
+                        "st predicates on *solve statements".into(),
+                    ));
+                }
+                Self::solve_assignments(&arm.body, &mut assigns);
+            }
+            // Snapshot fields for each distinct target array.
+            let mut targets: Vec<(String, FieldId, FieldId)> = Vec::new();
+            for (target, _) in &assigns {
+                let Expr::Index { base, .. } = target else {
+                    return Err(RuntimeError::NotSupported(
+                        "*solve targets must be array elements".into(),
+                    ));
+                };
+                if targets.iter().any(|(n, _, _)| n == base) {
+                    continue;
+                }
+                let st = self.array_storage(base)?;
+                let snap = self.machine.alloc(st.field.vp_set(), "~snap", st.ty)?;
+                targets.push((base.clone(), st.field, snap));
+            }
+            let run = (|| -> RResult<()> {
+                let mut iters = 0u64;
+                loop {
+                    iters += 1;
+                    if iters > self.config.max_iterations {
+                        return Err(RuntimeError::IterationLimit("*solve"));
+                    }
+                    for (_, field, snap) in &targets {
+                        self.machine.copy_unconditional(*snap, *field)?;
+                    }
+                    for (target, value) in &assigns {
+                        let v = self.eval(value)?;
+                        let v = self.store(target, v, false)?;
+                        self.release(v);
+                    }
+                    let mut changed = false;
+                    for (_, field, snap) in &targets {
+                        if self.machine.any_ne(*field, *snap)? {
+                            changed = true;
+                        }
+                    }
+                    if !changed {
+                        break;
+                    }
+                }
+                Ok(())
+            })();
+            for (_, _, snap) in targets {
+                let _ = self.machine.free(snap);
+            }
+            run
+        })();
+        self.pop_space(level)?;
+        result
+    }
+}

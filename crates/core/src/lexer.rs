@@ -1,0 +1,546 @@
+//! The UC lexer.
+//!
+//! Hand-written scanner producing a token vector. Handles C and C++
+//! comments, `#define NAME <integer>` directives (the only preprocessor
+//! feature the paper's programs use — they configure problem sizes with
+//! it), decimal/float literals, and the `$op` reduction sigils.
+
+use crate::diag::Diagnostics;
+use crate::span::Span;
+use crate::token::{RedOpToken, Token, TokenKind};
+
+/// Output of lexing: tokens plus the `#define` constant table.
+#[derive(Debug, Clone)]
+pub struct LexOutput {
+    pub tokens: Vec<Token>,
+    /// `#define` name → integer value, in source order.
+    pub defines: Vec<(String, i64)>,
+}
+
+/// Lex UC source. Lexical errors are reported in `diags`; scanning
+/// continues so later errors are also found.
+pub fn lex(src: &str, diags: &mut Diagnostics) -> LexOutput {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1, diags }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    diags: &'a mut Diagnostics,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> LexOutput {
+        let mut tokens = Vec::new();
+        let mut defines = Vec::new();
+        loop {
+            self.skip_trivia();
+            let start = self.pos;
+            let (line, col) = (self.line, self.col);
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(start, start, line, col),
+                });
+                break;
+            };
+            match c {
+                b'#' => {
+                    if let Some((name, value)) = self.directive() {
+                        defines.push((name, value));
+                    }
+                }
+                b'0'..=b'9' => {
+                    let kind = self.number();
+                    tokens.push(self.tok(kind, start, line, col));
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    let kind = self.ident();
+                    tokens.push(self.tok(kind, start, line, col));
+                }
+                b'$' => {
+                    self.bump();
+                    let kind = match self.peek() {
+                        Some(b'+') => {
+                            self.bump();
+                            TokenKind::Reduce(RedOpToken::Add)
+                        }
+                        Some(b'*') => {
+                            self.bump();
+                            TokenKind::Reduce(RedOpToken::Mul)
+                        }
+                        Some(b'>') => {
+                            self.bump();
+                            TokenKind::Reduce(RedOpToken::Max)
+                        }
+                        Some(b'<') => {
+                            self.bump();
+                            TokenKind::Reduce(RedOpToken::Min)
+                        }
+                        Some(b'^') => {
+                            self.bump();
+                            TokenKind::Reduce(RedOpToken::Xor)
+                        }
+                        Some(b',') => {
+                            self.bump();
+                            TokenKind::Reduce(RedOpToken::Arb)
+                        }
+                        Some(b'&') => {
+                            self.bump();
+                            if self.peek() == Some(b'&') {
+                                self.bump();
+                            } else {
+                                self.diags.error(
+                                    Span::new(start, self.pos, line, col),
+                                    "expected `$&&` (logical-and reduction)",
+                                );
+                            }
+                            TokenKind::Reduce(RedOpToken::And)
+                        }
+                        Some(b'|') => {
+                            self.bump();
+                            if self.peek() == Some(b'|') {
+                                self.bump();
+                            } else {
+                                self.diags.error(
+                                    Span::new(start, self.pos, line, col),
+                                    "expected `$||` (logical-or reduction)",
+                                );
+                            }
+                            TokenKind::Reduce(RedOpToken::Or)
+                        }
+                        _ => {
+                            self.diags.error(
+                                Span::new(start, self.pos, line, col),
+                                "`$` must be followed by a reduction operator (+ * && || > < ^ ,)",
+                            );
+                            continue;
+                        }
+                    };
+                    tokens.push(self.tok(kind, start, line, col));
+                }
+                _ => {
+                    if let Some(kind) = self.punct() {
+                        tokens.push(self.tok(kind, start, line, col));
+                    }
+                }
+            }
+        }
+        LexOutput { tokens, defines }
+    }
+
+    fn tok(&self, kind: TokenKind, start: usize, line: u32, col: u32) -> Token {
+        Token { kind, span: Span::new(start, self.pos, line, col) }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) {
+        if let Some(&c) = self.src.get(self.pos) {
+            self.pos += 1;
+            if c == b'\n' {
+                self.line += 1;
+                self.col = 1;
+            } else {
+                self.col += 1;
+            }
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => self.bump(),
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let (line, col, start) = (self.line, self.col, self.pos);
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.peek() {
+                        if c == b'*' && self.peek2() == Some(b'/') {
+                            self.bump();
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                        self.bump();
+                    }
+                    if !closed {
+                        self.diags.error(
+                            Span::new(start, self.pos, line, col),
+                            "unterminated block comment",
+                        );
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// `#define NAME <integer>`; other directives are reported as errors.
+    fn directive(&mut self) -> Option<(String, i64)> {
+        let (line, col, start) = (self.line, self.col, self.pos);
+        self.bump(); // '#'
+        let word = self.word();
+        if word != "define" {
+            self.diags.error(
+                Span::new(start, self.pos, line, col),
+                format!("unsupported preprocessor directive `#{word}` (only #define NAME <int>)"),
+            );
+            self.skip_to_eol();
+            return None;
+        }
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.bump();
+        }
+        let name = self.word();
+        if name.is_empty() {
+            self.diags.error(Span::new(start, self.pos, line, col), "#define needs a name");
+            self.skip_to_eol();
+            return None;
+        }
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.bump();
+        }
+        let mut digits = String::new();
+        if self.peek() == Some(b'-') {
+            digits.push('-');
+            self.bump();
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                digits.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.skip_to_eol();
+        match digits.parse::<i64>() {
+            Ok(v) => Some((name, v)),
+            Err(_) => {
+                self.diags.error(
+                    Span::new(start, self.pos, line, col),
+                    format!("#define {name}: expected an integer value"),
+                );
+                None
+            }
+        }
+    }
+
+    fn skip_to_eol(&mut self) {
+        while let Some(c) = self.peek() {
+            if c == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn word(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                s.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn number(&mut self) -> TokenKind {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') && matches!(self.peek2(), Some(c) if c.is_ascii_digit()) {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            let save = self.pos;
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                is_float = true;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+            } else {
+                self.pos = save; // not an exponent; leave `e` for the ident lexer
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        if is_float {
+            TokenKind::FloatLit(text.parse().unwrap_or(0.0))
+        } else {
+            TokenKind::IntLit(text.parse().unwrap_or(0))
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let w = self.word();
+        TokenKind::keyword(&w).unwrap_or(TokenKind::Ident(w))
+    }
+
+    fn punct(&mut self) -> Option<TokenKind> {
+        use TokenKind::*;
+        let (line, col, start) = (self.line, self.col, self.pos);
+        let c = self.peek()?;
+        self.bump();
+        let two = |l: &mut Self, next: u8, yes: TokenKind, no: TokenKind| {
+            if l.peek() == Some(next) {
+                l.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        Some(match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b'?' => Question,
+            b':' => two(self, b'-', MapsTo, Colon),
+            b'.' => {
+                if self.peek() == Some(b'.') {
+                    self.bump();
+                    DotDot
+                } else {
+                    self.diags.error(
+                        Span::new(start, self.pos, line, col),
+                        "stray `.` (ranges are written `{lo..hi}`)",
+                    );
+                    return None;
+                }
+            }
+            b'=' => two(self, b'=', EqEq, Assign),
+            b'!' => two(self, b'=', NotEq, Bang),
+            b'<' => {
+                if self.peek() == Some(b'<') {
+                    self.bump();
+                    Shl
+                } else {
+                    two(self, b'=', Le, Lt)
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    Shr
+                } else {
+                    two(self, b'=', Ge, Gt)
+                }
+            }
+            b'+' => {
+                if self.peek() == Some(b'+') {
+                    self.bump();
+                    PlusPlus
+                } else {
+                    two(self, b'=', PlusAssign, Plus)
+                }
+            }
+            b'-' => {
+                if self.peek() == Some(b'-') {
+                    self.bump();
+                    MinusMinus
+                } else {
+                    two(self, b'=', MinusAssign, Minus)
+                }
+            }
+            b'*' => two(self, b'=', StarAssign, Star),
+            b'/' => two(self, b'=', SlashAssign, Slash),
+            b'%' => two(self, b'=', PercentAssign, Percent),
+            b'&' => two(self, b'&', AmpAmp, Amp),
+            b'|' => two(self, b'|', PipePipe, Pipe),
+            b'^' => Caret,
+            b'~' => Tilde,
+            other => {
+                self.diags.error(
+                    Span::new(start, self.pos, line, col),
+                    format!("unexpected character `{}`", other as char),
+                );
+                return None;
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        let mut d = Diagnostics::default();
+        let out = lex(src, &mut d);
+        assert!(!d.has_errors(), "unexpected lex errors: {d}");
+        out.tokens.into_iter().map(|t| t.kind).filter(|k| *k != Eof).collect()
+    }
+
+    #[test]
+    fn lexes_index_set_declaration() {
+        let ks = kinds("index_set I:i = {0..N-1}, idx2:j = {4,2,9};");
+        assert_eq!(
+            ks,
+            vec![
+                KwIndexSet,
+                Ident("I".into()),
+                Colon,
+                Ident("i".into()),
+                Assign,
+                LBrace,
+                IntLit(0),
+                DotDot,
+                Ident("N".into()),
+                Minus,
+                IntLit(1),
+                RBrace,
+                Comma,
+                Ident("idx2".into()),
+                Colon,
+                Ident("j".into()),
+                Assign,
+                LBrace,
+                IntLit(4),
+                Comma,
+                IntLit(2),
+                Comma,
+                IntLit(9),
+                RBrace,
+                Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_reductions() {
+        let ks = kinds("$+ $* $&& $|| $> $< $^ $,");
+        use crate::token::RedOpToken::*;
+        assert_eq!(
+            ks,
+            vec![
+                Reduce(Add),
+                Reduce(Mul),
+                Reduce(And),
+                Reduce(Or),
+                Reduce(Max),
+                Reduce(Min),
+                Reduce(Xor),
+                Reduce(Arb),
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42 3.5 1e3 2E-2 7"), vec![
+            IntLit(42),
+            FloatLit(3.5),
+            FloatLit(1000.0),
+            FloatLit(0.02),
+            IntLit(7)
+        ]);
+    }
+
+    #[test]
+    fn number_then_ident_e() {
+        // `3element` lexes as 3 then `element` (error-free split).
+        assert_eq!(kinds("3 elements"), vec![IntLit(3), Ident("elements".into())]);
+    }
+
+    #[test]
+    fn defines_collected() {
+        let mut d = Diagnostics::default();
+        let out = lex("#define N 32\n#define LOGN 5\nint a[N];", &mut d);
+        assert!(!d.has_errors());
+        assert_eq!(out.defines, vec![("N".to_string(), 32), ("LOGN".to_string(), 5)]);
+        assert!(out.tokens.iter().any(|t| t.kind == KwInt));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let ks = kinds("a /* inline */ b // trailing\nc");
+        assert_eq!(ks, vec![Ident("a".into()), Ident("b".into()), Ident("c".into())]);
+    }
+
+    #[test]
+    fn maps_to_vs_colon() {
+        assert_eq!(kinds("a :- b : c"), vec![
+            Ident("a".into()),
+            MapsTo,
+            Ident("b".into()),
+            Colon,
+            Ident("c".into())
+        ]);
+    }
+
+    #[test]
+    fn operators() {
+        let ks = kinds("a += b << 2 && c || !d ^ ~e % 3 != f >= g <= h");
+        assert!(ks.contains(&PlusAssign));
+        assert!(ks.contains(&Shl));
+        assert!(ks.contains(&AmpAmp));
+        assert!(ks.contains(&PipePipe));
+        assert!(ks.contains(&Bang));
+        assert!(ks.contains(&Caret));
+        assert!(ks.contains(&Tilde));
+        assert!(ks.contains(&NotEq));
+        assert!(ks.contains(&Ge));
+        assert!(ks.contains(&Le));
+    }
+
+    #[test]
+    fn errors_reported() {
+        let mut d = Diagnostics::default();
+        lex("int a @ b;", &mut d);
+        assert!(d.has_errors());
+        let mut d = Diagnostics::default();
+        lex("/* never closed", &mut d);
+        assert!(d.has_errors());
+        let mut d = Diagnostics::default();
+        lex("#include <stdio.h>", &mut d);
+        assert!(d.has_errors());
+        let mut d = Diagnostics::default();
+        lex("$#", &mut d);
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let mut d = Diagnostics::default();
+        let out = lex("a\n  b", &mut d);
+        assert_eq!(out.tokens[0].span.line, 1);
+        assert_eq!(out.tokens[1].span.line, 2);
+        assert_eq!(out.tokens[1].span.col, 3);
+    }
+}

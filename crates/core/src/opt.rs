@@ -1,0 +1,251 @@
+//! Compiler optimizations (§4: "code optimizations").
+//!
+//! The peephole pass implemented here is constant folding over the AST
+//! (the paper lists constant folding and common sub-expression detection
+//! among the standard code optimizations of its prototype). The other two
+//! optimization classes — *processor optimization* and *communication
+//! cost optimization* — live where they act: the executor's reduction
+//! engine ([`crate::exec`], `try_procopt`) and the access-path classifier
+//! plus map section ([`crate::exec`]'s access module and
+//! [`crate::mapping`]).
+
+use crate::ast::*;
+
+/// Fold constant subexpressions in place across a whole unit.
+pub fn fold_unit(unit: &mut Unit) {
+    for item in &mut unit.items {
+        match item {
+            Item::Func(f) => fold_block(&mut f.body),
+            Item::Var(v) => {
+                if let Some(e) = &mut v.init {
+                    fold_expr(e);
+                }
+                for d in &mut v.dims {
+                    fold_expr(d);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn fold_block(b: &mut Block) {
+    for s in &mut b.stmts {
+        fold_stmt(s);
+    }
+}
+
+fn fold_stmt(s: &mut Stmt) {
+    match s {
+        Stmt::Expr(e) => fold_expr(e),
+        Stmt::Decl(v) => {
+            if let Some(e) = &mut v.init {
+                fold_expr(e);
+            }
+        }
+        Stmt::Block(b) => fold_block(b),
+        Stmt::If { cond, then_branch, else_branch, .. } => {
+            fold_expr(cond);
+            fold_stmt(then_branch);
+            if let Some(e) = else_branch {
+                fold_stmt(e);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            fold_expr(cond);
+            fold_stmt(body);
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            for e in [init, cond, step].into_iter().flatten() {
+                fold_expr(e);
+            }
+            fold_stmt(body);
+        }
+        Stmt::Return(Some(e), _) => fold_expr(e),
+        Stmt::Uc(uc) => {
+            for arm in &mut uc.arms {
+                if let Some(p) = &mut arm.pred {
+                    fold_expr(p);
+                }
+                fold_stmt(&mut arm.body);
+            }
+            if let Some(o) = &mut uc.others {
+                fold_stmt(o);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Fold one expression tree bottom-up.
+pub fn fold_expr(e: &mut Expr) {
+    match e {
+        Expr::Unary { op, expr, span } => {
+            fold_expr(expr);
+            if let Expr::IntLit(v, _) = **expr {
+                let folded = match op {
+                    UnaryOp::Neg => v.wrapping_neg(),
+                    UnaryOp::Not => (v == 0) as i64,
+                    UnaryOp::BitNot => !v,
+                };
+                *e = Expr::IntLit(folded, *span);
+            } else if let (UnaryOp::Neg, Expr::FloatLit(v, _)) = (&op, &**expr) {
+                *e = Expr::FloatLit(-v, *span);
+            }
+        }
+        Expr::Binary { op, lhs, rhs, span } => {
+            fold_expr(lhs);
+            fold_expr(rhs);
+            if let (Expr::IntLit(a, _), Expr::IntLit(b, _)) = (&**lhs, &**rhs) {
+                use BinaryOp::*;
+                let v = match op {
+                    Add => Some(a.wrapping_add(*b)),
+                    Sub => Some(a.wrapping_sub(*b)),
+                    Mul => Some(a.wrapping_mul(*b)),
+                    Div if *b != 0 => Some(a.wrapping_div(*b)),
+                    Mod if *b != 0 => Some(a.wrapping_rem(*b)),
+                    Shl => Some(a.wrapping_shl(*b as u32)),
+                    Shr => Some(a.wrapping_shr(*b as u32)),
+                    Lt => Some((a < b) as i64),
+                    Le => Some((a <= b) as i64),
+                    Gt => Some((a > b) as i64),
+                    Ge => Some((a >= b) as i64),
+                    Eq => Some((a == b) as i64),
+                    Ne => Some((a != b) as i64),
+                    BitAnd => Some(a & b),
+                    BitXor => Some(a ^ b),
+                    BitOr => Some(a | b),
+                    LogAnd => Some(((*a != 0) && (*b != 0)) as i64),
+                    LogOr => Some(((*a != 0) || (*b != 0)) as i64),
+                    _ => None,
+                };
+                if let Some(v) = v {
+                    *e = Expr::IntLit(v, *span);
+                    return;
+                }
+            }
+            // Identity simplifications: x+0, x*1, x*0, 0+x, 1*x.
+            use BinaryOp::*;
+            match (&op, &**lhs, &**rhs) {
+                (Add, _, Expr::IntLit(0, _)) | (Sub, _, Expr::IntLit(0, _)) => {
+                    *e = (**lhs).clone();
+                }
+                (Add, Expr::IntLit(0, _), _) => {
+                    *e = (**rhs).clone();
+                }
+                (Mul, _, Expr::IntLit(1, _)) | (Div, _, Expr::IntLit(1, _)) => {
+                    *e = (**lhs).clone();
+                }
+                (Mul, Expr::IntLit(1, _), _) => {
+                    *e = (**rhs).clone();
+                }
+                (Mul, Expr::IntLit(0, _), _) | (Mul, _, Expr::IntLit(0, _)) => {
+                    *e = Expr::IntLit(0, *span);
+                }
+                _ => {}
+            }
+        }
+        Expr::Ternary { cond, then_e, else_e, .. } => {
+            fold_expr(cond);
+            fold_expr(then_e);
+            fold_expr(else_e);
+            if let Expr::IntLit(c, _) = **cond {
+                *e = if c != 0 { (**then_e).clone() } else { (**else_e).clone() };
+            }
+        }
+        Expr::Assign { target, value, .. } => {
+            fold_expr(target);
+            fold_expr(value);
+        }
+        Expr::Index { subs, .. } => {
+            for s in subs {
+                fold_expr(s);
+            }
+        }
+        Expr::Call { args, .. } => {
+            for a in args {
+                fold_expr(a);
+            }
+        }
+        Expr::Reduce(r) => {
+            for (p, o) in &mut r.arms {
+                if let Some(p) = p {
+                    fold_expr(p);
+                }
+                fold_expr(o);
+            }
+            if let Some(o) = &mut r.others {
+                fold_expr(o);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Span;
+
+    fn int(v: i64) -> Expr {
+        Expr::IntLit(v, Span::default())
+    }
+
+    fn bin(op: BinaryOp, l: Expr, r: Expr) -> Expr {
+        Expr::Binary { op, lhs: Box::new(l), rhs: Box::new(r), span: Span::default() }
+    }
+
+    #[test]
+    fn folds_arithmetic() {
+        let mut e = bin(BinaryOp::Add, int(2), bin(BinaryOp::Mul, int(3), int(4)));
+        fold_expr(&mut e);
+        assert_eq!(e, int(14));
+    }
+
+    #[test]
+    fn folds_comparisons_and_logic() {
+        let mut e = bin(BinaryOp::LogAnd, bin(BinaryOp::Lt, int(1), int(2)), int(1));
+        fold_expr(&mut e);
+        assert_eq!(e, int(1));
+    }
+
+    #[test]
+    fn folds_unary_and_ternary() {
+        let mut e = Expr::Ternary {
+            cond: Box::new(bin(BinaryOp::Eq, int(1), int(1))),
+            then_e: Box::new(int(10)),
+            else_e: Box::new(int(20)),
+            span: Span::default(),
+        };
+        fold_expr(&mut e);
+        assert_eq!(e, int(10));
+        let mut e = Expr::Unary {
+            op: UnaryOp::Neg,
+            expr: Box::new(int(5)),
+            span: Span::default(),
+        };
+        fold_expr(&mut e);
+        assert_eq!(e, int(-5));
+    }
+
+    #[test]
+    fn identities() {
+        let x = Expr::Ident("x".into(), Span::default());
+        let mut e = bin(BinaryOp::Add, x.clone(), int(0));
+        fold_expr(&mut e);
+        assert_eq!(e, x);
+        let mut e = bin(BinaryOp::Mul, x.clone(), int(0));
+        fold_expr(&mut e);
+        assert_eq!(e, int(0));
+        let mut e = bin(BinaryOp::Mul, int(1), x.clone());
+        fold_expr(&mut e);
+        assert_eq!(e, x);
+    }
+
+    #[test]
+    fn no_fold_div_by_zero() {
+        let mut e = bin(BinaryOp::Div, int(1), int(0));
+        fold_expr(&mut e);
+        assert!(matches!(e, Expr::Binary { .. }), "division by zero must not fold");
+    }
+}

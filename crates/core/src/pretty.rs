@@ -1,0 +1,289 @@
+//! AST pretty-printer.
+//!
+//! Renders an AST back to UC source. Used by tests (parse ∘ print is the
+//! identity on the AST, modulo spans) and by the C* emitter for expression
+//! fragments.
+
+use crate::ast::*;
+
+/// Render a whole unit.
+pub fn unit_to_string(u: &Unit) -> String {
+    let mut out = String::new();
+    for (name, value) in &u.defines {
+        out.push_str(&format!("#define {name} {value}\n"));
+    }
+    for item in &u.items {
+        match item {
+            Item::IndexSets(defs) => {
+                out.push_str("index_set ");
+                let parts: Vec<String> = defs.iter().map(index_set_to_string).collect();
+                out.push_str(&parts.join(", "));
+                out.push_str(";\n");
+            }
+            Item::Var(v) => {
+                out.push_str(&var_to_string(v));
+                out.push('\n');
+            }
+            Item::Func(f) => {
+                out.push_str(&func_to_string(f));
+                out.push('\n');
+            }
+            Item::Map(m) => {
+                out.push_str(&map_to_string(m));
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+fn index_set_to_string(d: &IndexSetDef) -> String {
+    let init = match &d.init {
+        IndexSetInit::Range(lo, hi) => format!("{{{}..{}}}", expr(lo), expr(hi)),
+        IndexSetInit::List(items) => {
+            format!("{{{}}}", items.iter().map(expr).collect::<Vec<_>>().join(", "))
+        }
+        IndexSetInit::Alias(a) => a.clone(),
+    };
+    format!("{}:{} = {}", d.name, d.elem, init)
+}
+
+fn type_name(t: Type) -> &'static str {
+    match t {
+        Type::Int => "int",
+        Type::Float => "float",
+        Type::Void => "void",
+    }
+}
+
+fn var_to_string(v: &VarDecl) -> String {
+    let dims: String = v.dims.iter().map(|d| format!("[{}]", expr(d))).collect();
+    match &v.init {
+        Some(e) => format!("{} {}{} = {};", type_name(v.ty), v.name, dims, expr(e)),
+        None => format!("{} {}{};", type_name(v.ty), v.name, dims),
+    }
+}
+
+fn func_to_string(f: &FuncDef) -> String {
+    let params: Vec<String> =
+        f.params.iter().map(|(t, n)| format!("{} {}", type_name(*t), n)).collect();
+    format!(
+        "{} {}({}) {}",
+        type_name(f.ret),
+        f.name,
+        params.join(", "),
+        block_to_string(&f.body, 0)
+    )
+}
+
+fn map_to_string(m: &MapSection) -> String {
+    let mut out = format!("map ({}) {{\n", m.idxs.join(", "));
+    for d in &m.decls {
+        out.push_str(&format!(
+            "    {} ({}) {} :- {};\n",
+            d.kind.keyword(),
+            d.idxs.join(", "),
+            pattern(&d.target),
+            pattern(&d.source)
+        ));
+    }
+    out.push('}');
+    out
+}
+
+fn pattern(p: &ArrayPattern) -> String {
+    let subs: String = p.subs.iter().map(|s| format!("[{}]", expr(s))).collect();
+    format!("{}{}", p.array, subs)
+}
+
+fn block_to_string(b: &Block, indent: usize) -> String {
+    let pad = "    ".repeat(indent);
+    let inner = "    ".repeat(indent + 1);
+    let mut out = String::from("{\n");
+    for s in &b.stmts {
+        out.push_str(&inner);
+        out.push_str(&stmt_to_string(s, indent + 1));
+        out.push('\n');
+    }
+    out.push_str(&pad);
+    out.push('}');
+    out
+}
+
+/// Render a statement at an indent level.
+pub fn stmt_to_string(s: &Stmt, indent: usize) -> String {
+    match s {
+        Stmt::Empty => ";".into(),
+        Stmt::Expr(e) => format!("{};", expr(e)),
+        Stmt::Decl(v) => var_to_string(v),
+        Stmt::IndexSets(defs) => {
+            let parts: Vec<String> = defs.iter().map(index_set_to_string).collect();
+            format!("index_set {};", parts.join(", "))
+        }
+        Stmt::Block(b) => block_to_string(b, indent),
+        Stmt::If { cond, then_branch, else_branch, .. } => {
+            let mut out = format!(
+                "if ({}) {}",
+                expr(cond),
+                stmt_to_string(then_branch, indent)
+            );
+            if let Some(e) = else_branch {
+                out.push_str(&format!(" else {}", stmt_to_string(e, indent)));
+            }
+            out
+        }
+        Stmt::While { cond, body, .. } => {
+            format!("while ({}) {}", expr(cond), stmt_to_string(body, indent))
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            let p = |o: &Option<Expr>| o.as_ref().map(expr).unwrap_or_default();
+            format!(
+                "for ({}; {}; {}) {}",
+                p(init),
+                p(cond),
+                p(step),
+                stmt_to_string(body, indent)
+            )
+        }
+        Stmt::Return(e, _) => match e {
+            Some(e) => format!("return {};", expr(e)),
+            None => "return;".into(),
+        },
+        Stmt::Break(_) => "break;".into(),
+        Stmt::Continue(_) => "continue;".into(),
+        Stmt::Uc(uc) => uc_to_string(uc, indent),
+    }
+}
+
+fn uc_to_string(uc: &UcStmt, indent: usize) -> String {
+    let star = if uc.star { "*" } else { "" };
+    let mut out = format!("{}{} ({})", star, uc.kind.keyword(), uc.idxs.join(", "));
+    let inner = "    ".repeat(indent + 1);
+    for arm in &uc.arms {
+        match &arm.pred {
+            Some(p) => {
+                out.push_str(&format!(
+                    "\n{inner}st ({}) {}",
+                    expr(p),
+                    stmt_to_string(&arm.body, indent + 1)
+                ));
+            }
+            None => {
+                out.push(' ');
+                out.push_str(&stmt_to_string(&arm.body, indent));
+            }
+        }
+    }
+    if let Some(o) = &uc.others {
+        out.push_str(&format!("\n{inner}others {}", stmt_to_string(o, indent + 1)));
+    }
+    out
+}
+
+/// Render an expression (fully parenthesised where precedence matters).
+pub fn expr(e: &Expr) -> String {
+    match e {
+        Expr::IntLit(v, _) => v.to_string(),
+        Expr::FloatLit(v, _) => {
+            if v.fract() == 0.0 && v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Inf(_) => "INF".into(),
+        Expr::Ident(n, _) => n.clone(),
+        Expr::Index { base, subs, .. } => {
+            let s: String = subs.iter().map(|x| format!("[{}]", expr(x))).collect();
+            format!("{base}{s}")
+        }
+        Expr::Call { name, args, .. } => {
+            format!("{name}({})", args.iter().map(expr).collect::<Vec<_>>().join(", "))
+        }
+        Expr::Unary { op, expr: inner, .. } => {
+            let sym = match op {
+                UnaryOp::Neg => "-",
+                UnaryOp::Not => "!",
+                UnaryOp::BitNot => "~",
+            };
+            format!("{sym}{}", atom(inner))
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            format!("{} {} {}", atom(lhs), op.symbol(), atom(rhs))
+        }
+        Expr::Ternary { cond, then_e, else_e, .. } => {
+            format!("{} ? {} : {}", atom(cond), expr(then_e), expr(else_e))
+        }
+        Expr::Assign { target, op, value, .. } => {
+            let sym = match op {
+                None => "=".to_string(),
+                Some(o) => format!("{}=", o.symbol()),
+            };
+            format!("{} {} {}", expr(target), sym, expr(value))
+        }
+        Expr::Reduce(r) => {
+            let op = r.op.to_string();
+            let mut body = String::new();
+            let simple = r.arms.len() == 1 && r.arms[0].0.is_none();
+            if simple {
+                body.push_str(&format!("; {}", expr(&r.arms[0].1)));
+            } else {
+                for (p, o) in &r.arms {
+                    match p {
+                        Some(p) => body.push_str(&format!(" st ({}) {}", expr(p), expr(o))),
+                        None => body.push_str(&format!("; {}", expr(o))),
+                    }
+                }
+            }
+            if let Some(o) = &r.others {
+                body.push_str(&format!(" others {}", expr(o)));
+            }
+            format!("{op}({}{body})", r.idxs.join(", "))
+        }
+    }
+}
+
+/// Parenthesise compound subexpressions.
+fn atom(e: &Expr) -> String {
+    match e {
+        Expr::Binary { .. } | Expr::Ternary { .. } | Expr::Assign { .. } => {
+            format!("({})", expr(e))
+        }
+        _ => expr(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Diagnostics;
+    use crate::parser::parse;
+
+    /// parse ∘ print ∘ parse must be a fixed point of the AST (modulo
+    /// spans, which differ; we compare the *printed* forms).
+    fn roundtrip(src: &str) {
+        let mut d = Diagnostics::default();
+        let u1 = parse(src, &mut d).expect("first parse");
+        let printed = unit_to_string(&u1);
+        let mut d2 = Diagnostics::default();
+        let u2 = parse(&printed, &mut d2).unwrap_or_else(|| panic!("reparse failed: {d2}\n{printed}"));
+        assert_eq!(unit_to_string(&u2), printed, "pretty-print not idempotent");
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip("#define N 8\nindex_set I:i = {0..N-1}, K:k = {4,2,9};\nint a[N];\nmain() { par (I) st (a[i] != 0) a[i] = 1 / a[i]; }");
+        roundtrip("index_set I:i = {0..9}, J:j = I;\nint a[10], s;\nmain() { s = $+(I st (a[i] > 0) a[i] others -a[i]); }");
+        roundtrip("#define N 4\nindex_set I:i = {0..N-1}, J:j = I;\nint a[N][N];\nmain() { solve (I, J) a[i][j] = (i == 0 || j == 0) ? 1 : a[i-1][j] + a[i-1][j-1] + a[i][j-1]; }");
+        roundtrip("index_set I:i = {0..9};\nint x[10];\nmain() { *oneof (I)\n st (i % 2 == 0 && x[i] > x[i+1]) swap(x[i], x[i+1]);\n st (i % 2 != 0 && x[i] > x[i+1]) swap(x[i], x[i+1]);\n}");
+        roundtrip("#define N 8\nindex_set I:i = {0..N-1};\nint a[N], b[N];\nmap (I) { permute (I) b[i+1] :- a[i]; }\nmain() { while (1) break; }");
+    }
+
+    #[test]
+    fn expr_precedence_parens() {
+        let mut d = Diagnostics::default();
+        let u = parse("main() { int x; x = (1 + 2) * 3; }", &mut d).unwrap();
+        let printed = unit_to_string(&u);
+        assert!(printed.contains("(1 + 2) * 3"), "got: {printed}");
+    }
+}

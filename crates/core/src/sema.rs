@@ -1,0 +1,1048 @@
+//! Semantic analysis.
+//!
+//! Validates a parsed [`Unit`] and produces a [`Checked`] program:
+//!
+//! * `#define` constants and index-set definitions are evaluated (index
+//!   sets are *constant data items* in UC — §3.1);
+//! * array shapes are computed from constant expressions;
+//! * every identifier is resolved against the scope rules of the paper,
+//!   including index-element shadowing in nested constructs (§3.4);
+//! * UC restrictions are enforced (no `goto` — already a parse error; an
+//!   index element is read-only; `solve` arms must be proper assignments);
+//! * expressions get basic int/float/bool checking with C-style coercion.
+
+use std::collections::HashMap;
+
+use crate::ast::*;
+use crate::diag::Diagnostics;
+use crate::span::Span;
+use crate::stdlib;
+
+/// An evaluated index set: ordered constant integers plus the element
+/// identifier used to range over it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexSetInfo {
+    pub elem: String,
+    pub elements: Vec<i64>,
+}
+
+/// A checked global array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrayInfo {
+    pub ty: Type,
+    pub shape: Vec<usize>,
+}
+
+/// The output of semantic analysis, consumed by the executor, the
+/// optimizer and the C* emitter.
+#[derive(Debug, Clone)]
+pub struct Checked {
+    pub unit: Unit,
+    pub consts: HashMap<String, i64>,
+    /// Global index sets in declaration order.
+    pub index_sets: Vec<(String, IndexSetInfo)>,
+    pub arrays: HashMap<String, ArrayInfo>,
+    /// Global scalar variables (type, constant initializer if any).
+    pub scalars: HashMap<String, (Type, Option<i64>)>,
+    pub funcs: HashMap<String, FuncDef>,
+    pub maps: Vec<MapDecl>,
+}
+
+impl Checked {
+    pub fn index_set(&self, name: &str) -> Option<&IndexSetInfo> {
+        self.index_sets.iter().rev().find(|(n, _)| n == name).map(|(_, i)| i)
+    }
+}
+
+/// Run semantic analysis. Errors are recorded in `diags`; returns `None`
+/// if any were produced.
+pub fn check(unit: Unit, diags: &mut Diagnostics) -> Option<Checked> {
+    let mut cx = Checker {
+        diags,
+        consts: HashMap::new(),
+        index_sets: Vec::new(),
+        arrays: HashMap::new(),
+        scalars: HashMap::new(),
+        funcs: HashMap::new(),
+        maps: Vec::new(),
+        scopes: Vec::new(),
+    };
+    cx.run(&unit);
+    if cx.diags.has_errors() {
+        None
+    } else {
+        Some(Checked {
+            unit,
+            consts: cx.consts,
+            index_sets: cx.index_sets,
+            arrays: cx.arrays,
+            scalars: cx.scalars,
+            funcs: cx.funcs,
+            maps: cx.maps,
+        })
+    }
+}
+
+/// What a name means in the current scope.
+#[derive(Debug, Clone, PartialEq)]
+enum Binding {
+    /// A construct's index element (read-only integer).
+    IndexElem,
+    /// A scalar variable of the given type.
+    Scalar(Type),
+    /// A local array (inside a par body) or function-local array.
+    Array(Type, usize),
+    /// A locally declared index set.
+    LocalIndexSet(IndexSetInfo),
+}
+
+struct Checker<'a> {
+    diags: &'a mut Diagnostics,
+    consts: HashMap<String, i64>,
+    index_sets: Vec<(String, IndexSetInfo)>,
+    arrays: HashMap<String, ArrayInfo>,
+    scalars: HashMap<String, (Type, Option<i64>)>,
+    funcs: HashMap<String, FuncDef>,
+    maps: Vec<MapDecl>,
+    /// Scope stack for function bodies: name → binding.
+    scopes: Vec<HashMap<String, Binding>>,
+}
+
+/// Inferred expression type. `Bool` is C's 0/1 int but tracked so logical
+/// contexts are understood; it freely coerces to `Int`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExprTy {
+    Int,
+    Float,
+    Bool,
+    Void,
+}
+
+impl ExprTy {
+    fn of(ty: Type) -> ExprTy {
+        match ty {
+            Type::Int => ExprTy::Int,
+            Type::Float => ExprTy::Float,
+            Type::Void => ExprTy::Void,
+        }
+    }
+
+    fn is_numeric(self) -> bool {
+        matches!(self, ExprTy::Int | ExprTy::Float | ExprTy::Bool)
+    }
+
+    fn int_like(self) -> bool {
+        matches!(self, ExprTy::Int | ExprTy::Bool)
+    }
+}
+
+impl<'a> Checker<'a> {
+    fn run(&mut self, unit: &Unit) {
+        for (name, value) in &unit.defines {
+            if self.consts.insert(name.clone(), *value).is_some() {
+                self.diags
+                    .warning(Span::default(), format!("#define {name} redefined"));
+            }
+        }
+        // First pass: collect all top-level declarations so functions can
+        // reference globals declared after them.
+        for item in &unit.items {
+            match item {
+                Item::IndexSets(defs) => {
+                    for def in defs {
+                        if let Some(info) = self.eval_index_set(def) {
+                            self.index_sets.push((def.name.clone(), info));
+                        }
+                    }
+                }
+                Item::Var(v) => self.declare_global(v),
+                Item::Func(f) => {
+                    if self.funcs.insert(f.name.clone(), f.clone()).is_some() {
+                        self.diags
+                            .error(f.span, format!("function `{}` redefined", f.name));
+                    }
+                }
+                Item::Map(_) => {}
+            }
+        }
+        // Second pass: check function bodies and map sections.
+        for item in &unit.items {
+            match item {
+                Item::Func(f) => self.check_func(f),
+                Item::Map(m) => self.check_map(m),
+                _ => {}
+            }
+        }
+        if !self.funcs.contains_key("main") {
+            self.diags.error(Span::default(), "program has no `main` function");
+        }
+    }
+
+    fn eval_index_set(&mut self, def: &IndexSetDef) -> Option<IndexSetInfo> {
+        let elements = match &def.init {
+            IndexSetInit::Range(lo, hi) => {
+                let lo = self.const_expr(lo)?;
+                let hi = self.const_expr(hi)?;
+                if hi < lo {
+                    self.diags.error(
+                        def.span,
+                        format!("index-set range {{{lo}..{hi}}} is empty or reversed"),
+                    );
+                    return None;
+                }
+                (lo..=hi).collect()
+            }
+            IndexSetInit::List(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for e in items {
+                    out.push(self.const_expr(e)?);
+                }
+                out
+            }
+            IndexSetInit::Alias(src) => match self.lookup_index_set(src) {
+                Some(info) => info.elements.clone(),
+                None => {
+                    self.diags
+                        .error(def.span, format!("unknown index set `{src}` in alias"));
+                    return None;
+                }
+            },
+        };
+        if elements.is_empty() {
+            self.diags.error(def.span, format!("index set `{}` is empty", def.name));
+            return None;
+        }
+        Some(IndexSetInfo { elem: def.elem.clone(), elements })
+    }
+
+    fn lookup_index_set(&self, name: &str) -> Option<&IndexSetInfo> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(Binding::LocalIndexSet(info)) = scope.get(name) {
+                return Some(info);
+            }
+        }
+        self.index_sets.iter().rev().find(|(n, _)| n == name).map(|(_, i)| i)
+    }
+
+    fn declare_global(&mut self, v: &VarDecl) {
+        if v.ty == Type::Void {
+            self.diags.error(v.span, "variables cannot have type void");
+            return;
+        }
+        if v.dims.is_empty() {
+            let init = match &v.init {
+                Some(e) => self.const_expr(e),
+                None => Some(0),
+            };
+            if self.scalars.insert(v.name.clone(), (v.ty, init)).is_some() {
+                self.diags.error(v.span, format!("variable `{}` redefined", v.name));
+            }
+        } else {
+            let mut shape = Vec::with_capacity(v.dims.len());
+            for d in &v.dims {
+                match self.const_expr(d) {
+                    Some(n) if n > 0 => shape.push(n as usize),
+                    Some(n) => {
+                        self.diags
+                            .error(d.span(), format!("array extent must be positive, got {n}"));
+                        return;
+                    }
+                    None => return,
+                }
+            }
+            if v.init.is_some() {
+                self.diags.error(v.span, "array initializers are not supported");
+            }
+            if self.arrays.insert(v.name.clone(), ArrayInfo { ty: v.ty, shape }).is_some() {
+                self.diags.error(v.span, format!("array `{}` redefined", v.name));
+            }
+        }
+    }
+
+    /// Evaluate a compile-time constant integer expression (`#define`s,
+    /// literals, arithmetic). Used for array extents and index-set bounds.
+    fn const_expr(&mut self, e: &Expr) -> Option<i64> {
+        match self.try_const_expr(e) {
+            Ok(v) => Some(v),
+            Err(span) => {
+                self.diags.error(span, "expected a compile-time constant expression");
+                None
+            }
+        }
+    }
+
+    fn try_const_expr(&self, e: &Expr) -> Result<i64, Span> {
+        match e {
+            Expr::IntLit(v, _) => Ok(*v),
+            Expr::Inf(_) => Ok(i64::MAX),
+            Expr::Ident(name, span) => {
+                self.consts.get(name).copied().ok_or(*span)
+            }
+            Expr::Unary { op, expr, span } => {
+                let v = self.try_const_expr(expr)?;
+                Ok(match op {
+                    UnaryOp::Neg => -v,
+                    UnaryOp::Not => (v == 0) as i64,
+                    UnaryOp::BitNot => !v,
+                })
+                .map_err(|()| *span)
+            }
+            Expr::Binary { op, lhs, rhs, span } => {
+                let l = self.try_const_expr(lhs)?;
+                let r = self.try_const_expr(rhs)?;
+                use BinaryOp::*;
+                let v = match op {
+                    Add => l.wrapping_add(r),
+                    Sub => l.wrapping_sub(r),
+                    Mul => l.wrapping_mul(r),
+                    Div => {
+                        if r == 0 {
+                            return Err(*span);
+                        }
+                        l / r
+                    }
+                    Mod => {
+                        if r == 0 {
+                            return Err(*span);
+                        }
+                        l % r
+                    }
+                    Shl => l.wrapping_shl(r as u32),
+                    Shr => l.wrapping_shr(r as u32),
+                    Lt => (l < r) as i64,
+                    Le => (l <= r) as i64,
+                    Gt => (l > r) as i64,
+                    Ge => (l >= r) as i64,
+                    Eq => (l == r) as i64,
+                    Ne => (l != r) as i64,
+                    BitAnd => l & r,
+                    BitXor => l ^ r,
+                    BitOr => l | r,
+                    LogAnd => ((l != 0) && (r != 0)) as i64,
+                    LogOr => ((l != 0) || (r != 0)) as i64,
+                };
+                Ok(v)
+            }
+            Expr::Ternary { cond, then_e, else_e, .. } => {
+                let c = self.try_const_expr(cond)?;
+                if c != 0 {
+                    self.try_const_expr(then_e)
+                } else {
+                    self.try_const_expr(else_e)
+                }
+            }
+            other => Err(other.span()),
+        }
+    }
+
+    // ---- function bodies ------------------------------------------------
+
+    fn check_func(&mut self, f: &FuncDef) {
+        let mut scope = HashMap::new();
+        for (ty, name) in &f.params {
+            if *ty == Type::Void {
+                self.diags.error(f.span, format!("parameter `{name}` cannot be void"));
+            }
+            scope.insert(name.clone(), Binding::Scalar(*ty));
+        }
+        self.scopes.push(scope);
+        self.check_block(&f.body);
+        self.scopes.pop();
+    }
+
+    fn check_block(&mut self, b: &Block) {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.check_stmt(s);
+        }
+        self.scopes.pop();
+    }
+
+    fn declare_local(&mut self, v: &VarDecl) {
+        if v.ty == Type::Void {
+            self.diags.error(v.span, "variables cannot have type void");
+            return;
+        }
+        let binding = if v.dims.is_empty() {
+            if let Some(init) = &v.init {
+                self.check_expr(init);
+            }
+            Binding::Scalar(v.ty)
+        } else {
+            for d in &v.dims {
+                self.const_expr(d);
+            }
+            if v.init.is_some() {
+                self.diags.error(v.span, "array initializers are not supported");
+            }
+            Binding::Array(v.ty, v.dims.len())
+        };
+        self.scopes
+            .last_mut()
+            .expect("inside a scope")
+            .insert(v.name.clone(), binding);
+    }
+
+    fn check_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Expr(e) => {
+                self.check_expr(e);
+            }
+            Stmt::Decl(v) => self.declare_local(v),
+            Stmt::IndexSets(defs) => {
+                for def in defs {
+                    if let Some(info) = self.eval_index_set(def) {
+                        self.scopes
+                            .last_mut()
+                            .expect("inside a scope")
+                            .insert(def.name.clone(), Binding::LocalIndexSet(info));
+                    }
+                }
+            }
+            Stmt::Block(b) => self.check_block(b),
+            Stmt::If { cond, then_branch, else_branch, .. } => {
+                self.check_expr(cond);
+                self.check_stmt(then_branch);
+                if let Some(e) = else_branch {
+                    self.check_stmt(e);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                self.check_expr(cond);
+                self.check_stmt(body);
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                for e in [init, cond, step].into_iter().flatten() {
+                    self.check_expr(e);
+                }
+                self.check_stmt(body);
+            }
+            Stmt::Return(e, _) => {
+                if let Some(e) = e {
+                    self.check_expr(e);
+                }
+            }
+            Stmt::Break(_) | Stmt::Continue(_) | Stmt::Empty => {}
+            Stmt::Uc(uc) => self.check_uc(uc),
+        }
+    }
+
+    fn check_uc(&mut self, uc: &UcStmt) {
+        // Bind the constructs' index elements in a fresh scope. Reuse of a
+        // set hides the outer binding, as in the paper (§3.4).
+        let mut scope = HashMap::new();
+        for name in &uc.idxs {
+            match self.lookup_index_set(name) {
+                Some(info) => {
+                    scope.insert(info.elem.clone(), Binding::IndexElem);
+                }
+                None => {
+                    self.diags.error(uc.span, format!("unknown index set `{name}`"));
+                }
+            }
+        }
+        self.scopes.push(scope);
+        for arm in &uc.arms {
+            if let Some(p) = &arm.pred {
+                self.check_expr(p);
+            }
+            self.check_stmt(&arm.body);
+        }
+        if let Some(o) = &uc.others {
+            if uc.arms.iter().all(|a| a.pred.is_none()) {
+                self.diags.error(
+                    uc.span,
+                    "`others` requires at least one `st`-guarded arm before it",
+                );
+            }
+            self.check_stmt(o);
+        }
+        if uc.kind == UcKind::Solve {
+            self.check_solve_arms(uc);
+        }
+        if uc.kind == UcKind::Seq && uc.idxs.len() != 1 {
+            self.diags
+                .error(uc.span, "`seq` iterates a single index set at a time");
+        }
+        self.scopes.pop();
+    }
+
+    /// `solve` arms must be a proper set of assignments (§3.6): every arm
+    /// a single assignment statement (or block of them), and — statically
+    /// approximated — no two arms assigning the same variable. `*solve`
+    /// drops the single-assignment requirement.
+    fn check_solve_arms(&mut self, uc: &UcStmt) {
+        let mut targets: Vec<String> = Vec::new();
+        for arm in &uc.arms {
+            self.collect_solve_targets(&arm.body, uc.star, &mut targets);
+        }
+        if let Some(o) = &uc.others {
+            self.collect_solve_targets(o, uc.star, &mut targets);
+        }
+        if !uc.star {
+            let mut seen = std::collections::HashSet::new();
+            for t in &targets {
+                if !seen.insert(t.clone()) {
+                    self.diags.error(
+                        uc.span,
+                        format!(
+                            "solve: variable `{t}` is assigned by more than one statement \
+                             (a proper set allows at most one)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    fn collect_solve_targets(&mut self, s: &Stmt, star: bool, out: &mut Vec<String>) {
+        match s {
+            Stmt::Expr(Expr::Assign { target, op, .. }) => {
+                if op.is_some() && !star {
+                    self.diags.error(
+                        s_span(s),
+                        "solve assignments must be plain `=` (single assignment)",
+                    );
+                }
+                match target.as_ref() {
+                    Expr::Ident(n, _) | Expr::Index { base: n, .. } => out.push(n.clone()),
+                    _ => {}
+                }
+            }
+            Stmt::Block(b) => {
+                for inner in &b.stmts {
+                    self.collect_solve_targets(inner, star, out);
+                }
+            }
+            Stmt::Empty => {}
+            other => {
+                self.diags.error(
+                    s_span(other),
+                    "solve bodies may contain only assignment statements",
+                );
+            }
+        }
+    }
+
+    // ---- expressions ------------------------------------------------------
+
+    fn lookup(&self, name: &str) -> Option<Binding> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(b) = scope.get(name) {
+                return Some(b.clone());
+            }
+        }
+        if let Some((ty, _)) = self.scalars.get(name) {
+            return Some(Binding::Scalar(*ty));
+        }
+        if let Some(info) = self.arrays.get(name) {
+            return Some(Binding::Array(info.ty, info.shape.len()));
+        }
+        None
+    }
+
+    fn check_expr(&mut self, e: &Expr) -> ExprTy {
+        match e {
+            Expr::IntLit(..) => ExprTy::Int,
+            Expr::FloatLit(..) => ExprTy::Float,
+            Expr::Inf(_) => ExprTy::Int,
+            Expr::Ident(name, span) => {
+                if self.consts.contains_key(name) {
+                    return ExprTy::Int;
+                }
+                match self.lookup(name) {
+                    Some(Binding::IndexElem) => ExprTy::Int,
+                    Some(Binding::Scalar(t)) => ExprTy::of(t),
+                    Some(Binding::Array(..)) => {
+                        self.diags.error(
+                            *span,
+                            format!("array `{name}` used without subscripts"),
+                        );
+                        ExprTy::Int
+                    }
+                    Some(Binding::LocalIndexSet(_)) => {
+                        self.diags.error(
+                            *span,
+                            format!("index set `{name}` used as a value"),
+                        );
+                        ExprTy::Int
+                    }
+                    None => {
+                        self.diags.error(*span, format!("unknown identifier `{name}`"));
+                        ExprTy::Int
+                    }
+                }
+            }
+            Expr::Index { base, subs, span } => {
+                let ty = match self.lookup(base) {
+                    Some(Binding::Array(t, rank)) => {
+                        if subs.len() != rank {
+                            self.diags.error(
+                                *span,
+                                format!(
+                                    "array `{base}` has rank {rank}, subscripted with {}",
+                                    subs.len()
+                                ),
+                            );
+                        }
+                        ExprTy::of(t)
+                    }
+                    Some(_) => {
+                        self.diags
+                            .error(*span, format!("`{base}` is not an array"));
+                        ExprTy::Int
+                    }
+                    None => {
+                        self.diags.error(*span, format!("unknown array `{base}`"));
+                        ExprTy::Int
+                    }
+                };
+                for sub in subs {
+                    let t = self.check_expr(sub);
+                    if !t.int_like() {
+                        self.diags
+                            .error(sub.span(), "array subscripts must be integers");
+                    }
+                }
+                ty
+            }
+            Expr::Call { name, args, span } => {
+                for a in args {
+                    self.check_expr(a);
+                }
+                if let Some(sig) = stdlib::builtin(name) {
+                    if args.len() != sig.arity {
+                        self.diags.error(
+                            *span,
+                            format!(
+                                "builtin `{name}` takes {} argument(s), got {}",
+                                sig.arity,
+                                args.len()
+                            ),
+                        );
+                    }
+                    if name == "swap" {
+                        for a in args {
+                            if !matches!(a, Expr::Ident(..) | Expr::Index { .. }) {
+                                self.diags.error(
+                                    a.span(),
+                                    "swap arguments must be variables or array elements",
+                                );
+                            }
+                        }
+                    }
+                    return sig.ret;
+                }
+                match self.funcs.get(name) {
+                    Some(f) => {
+                        if f.params.len() != args.len() {
+                            self.diags.error(
+                                *span,
+                                format!(
+                                    "function `{name}` takes {} argument(s), got {}",
+                                    f.params.len(),
+                                    args.len()
+                                ),
+                            );
+                        }
+                        ExprTy::of(f.ret)
+                    }
+                    None => {
+                        self.diags.error(*span, format!("unknown function `{name}`"));
+                        ExprTy::Int
+                    }
+                }
+            }
+            Expr::Unary { op, expr, span } => {
+                let t = self.check_expr(expr);
+                match op {
+                    UnaryOp::Neg => {
+                        if !t.is_numeric() {
+                            self.diags.error(*span, "negation needs a numeric operand");
+                        }
+                        t
+                    }
+                    UnaryOp::Not => ExprTy::Bool,
+                    UnaryOp::BitNot => {
+                        if !t.int_like() {
+                            self.diags.error(*span, "`~` needs an integer operand");
+                        }
+                        ExprTy::Int
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs, span } => {
+                let lt = self.check_expr(lhs);
+                let rt = self.check_expr(rhs);
+                use BinaryOp::*;
+                match op {
+                    Mod | Shl | Shr | BitAnd | BitOr | BitXor => {
+                        if !lt.int_like() || !rt.int_like() {
+                            self.diags.error(
+                                *span,
+                                format!("`{}` requires integer operands", op.symbol()),
+                            );
+                        }
+                        ExprTy::Int
+                    }
+                    Lt | Le | Gt | Ge | Eq | Ne => ExprTy::Bool,
+                    LogAnd | LogOr => ExprTy::Bool,
+                    Add | Sub | Mul | Div => {
+                        if lt == ExprTy::Float || rt == ExprTy::Float {
+                            ExprTy::Float
+                        } else {
+                            ExprTy::Int
+                        }
+                    }
+                }
+            }
+            Expr::Ternary { cond, then_e, else_e, .. } => {
+                self.check_expr(cond);
+                let t = self.check_expr(then_e);
+                let f = self.check_expr(else_e);
+                if t == ExprTy::Float || f == ExprTy::Float {
+                    ExprTy::Float
+                } else {
+                    ExprTy::Int
+                }
+            }
+            Expr::Assign { target, value, span, .. } => {
+                let vt = self.check_expr(value);
+                match target.as_ref() {
+                    Expr::Ident(name, tspan) => {
+                        if self.consts.contains_key(name) {
+                            self.diags.error(
+                                *tspan,
+                                format!("cannot assign to constant `{name}`"),
+                            );
+                            return ExprTy::Int;
+                        }
+                        match self.lookup(name) {
+                            Some(Binding::IndexElem) => {
+                                self.diags.error(
+                                    *tspan,
+                                    format!(
+                                        "cannot assign to index element `{name}` (read-only)"
+                                    ),
+                                );
+                                ExprTy::Int
+                            }
+                            Some(Binding::Scalar(t)) => {
+                                if ExprTy::of(t) == ExprTy::Int && vt == ExprTy::Float {
+                                    self.diags.warning(
+                                        *span,
+                                        "float value truncated in assignment to int",
+                                    );
+                                }
+                                ExprTy::of(t)
+                            }
+                            Some(_) => {
+                                self.diags.error(
+                                    *tspan,
+                                    format!("`{name}` cannot be assigned directly"),
+                                );
+                                ExprTy::Int
+                            }
+                            None => {
+                                self.diags
+                                    .error(*tspan, format!("unknown identifier `{name}`"));
+                                ExprTy::Int
+                            }
+                        }
+                    }
+                    Expr::Index { .. } => {
+                        let tt = self.check_expr(target);
+                        if tt == ExprTy::Int && vt == ExprTy::Float {
+                            self.diags.warning(
+                                *span,
+                                "float value truncated in assignment to int",
+                            );
+                        }
+                        tt
+                    }
+                    _ => unreachable!("parser enforces lvalue targets"),
+                }
+            }
+            Expr::Reduce(r) => self.check_reduce(r),
+        }
+    }
+
+    fn check_reduce(&mut self, r: &ReduceExpr) -> ExprTy {
+        let mut scope = HashMap::new();
+        for name in &r.idxs {
+            match self.lookup_index_set(name) {
+                Some(info) => {
+                    scope.insert(info.elem.clone(), Binding::IndexElem);
+                }
+                None => {
+                    self.diags
+                        .error(r.span, format!("unknown index set `{name}` in reduction"));
+                }
+            }
+        }
+        self.scopes.push(scope);
+        let mut ty = ExprTy::Int;
+        for (pred, operand) in &r.arms {
+            if let Some(p) = pred {
+                self.check_expr(p);
+            }
+            let t = self.check_expr(operand);
+            if t == ExprTy::Float {
+                ty = ExprTy::Float;
+            }
+        }
+        if let Some(o) = &r.others {
+            if r.arms.iter().all(|(p, _)| p.is_none()) {
+                self.diags.error(
+                    r.span,
+                    "`others` in a reduction requires an `st`-guarded operand before it",
+                );
+            }
+            let t = self.check_expr(o);
+            if t == ExprTy::Float {
+                ty = ExprTy::Float;
+            }
+        }
+        use crate::token::RedOpToken as R;
+        if matches!(r.op, R::And | R::Or | R::Xor) {
+            ty = ExprTy::Int;
+        }
+        self.scopes.pop();
+        ty
+    }
+}
+
+fn s_span(s: &Stmt) -> Span {
+    match s {
+        Stmt::Expr(e) => e.span(),
+        Stmt::Decl(v) => v.span,
+        Stmt::If { span, .. }
+        | Stmt::While { span, .. }
+        | Stmt::For { span, .. }
+        | Stmt::Return(_, span)
+        | Stmt::Break(span)
+        | Stmt::Continue(span) => *span,
+        Stmt::Uc(u) => u.span,
+        _ => Span::default(),
+    }
+}
+
+impl<'a> Checker<'a> {
+    fn check_map(&mut self, m: &MapSection) {
+        for decl in &m.decls {
+            for pat in [&decl.target, &decl.source] {
+                match self.arrays.get(&pat.array) {
+                    Some(info) => {
+                        if pat.subs.len() != info.shape.len() {
+                            self.diags.error(
+                                pat.span,
+                                format!(
+                                    "mapping pattern for `{}` has {} subscripts, array has rank {}",
+                                    pat.array,
+                                    pat.subs.len(),
+                                    info.shape.len()
+                                ),
+                            );
+                        }
+                    }
+                    None => {
+                        self.diags.error(
+                            pat.span,
+                            format!("mapping references unknown array `{}`", pat.array),
+                        );
+                    }
+                }
+            }
+            self.maps.push(decl.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_ok(src: &str) -> Checked {
+        let mut d = Diagnostics::default();
+        let unit = parse(src, &mut d).expect("parse");
+        let c = check(unit, &mut d);
+        assert!(c.is_some(), "sema failed: {d}");
+        c.unwrap()
+    }
+
+    fn check_err(src: &str) -> String {
+        let mut d = Diagnostics::default();
+        if let Some(unit) = parse(src, &mut d) {
+            assert!(check(unit, &mut d).is_none(), "expected sema failure");
+        }
+        d.to_string()
+    }
+
+    #[test]
+    fn index_sets_evaluated() {
+        let c = check_ok(
+            "#define N 5\nindex_set I:i = {0..N-1}, J:j = I, K:k = {4,2,9};\nmain() {}",
+        );
+        assert_eq!(c.index_set("I").unwrap().elements, vec![0, 1, 2, 3, 4]);
+        assert_eq!(c.index_set("J").unwrap().elements, vec![0, 1, 2, 3, 4]);
+        assert_eq!(c.index_set("J").unwrap().elem, "j");
+        assert_eq!(c.index_set("K").unwrap().elements, vec![4, 2, 9]);
+    }
+
+    #[test]
+    fn array_shapes() {
+        let c = check_ok("#define N 4\nint d[N][N*2];\nfloat f[3];\nmain() {}");
+        assert_eq!(c.arrays["d"].shape, vec![4, 8]);
+        assert_eq!(c.arrays["f"].shape, vec![3]);
+        assert_eq!(c.arrays["f"].ty, Type::Float);
+    }
+
+    #[test]
+    fn missing_main() {
+        let msg = check_err("int x;");
+        assert!(msg.contains("main"));
+    }
+
+    #[test]
+    fn unknown_identifier() {
+        let msg = check_err("main() { x = 1; }");
+        assert!(msg.contains("unknown identifier `x`"));
+    }
+
+    #[test]
+    fn unknown_index_set_in_par() {
+        let msg = check_err("main() { par (Q) ; }");
+        assert!(msg.contains("unknown index set `Q`"));
+    }
+
+    #[test]
+    fn index_element_read_only() {
+        let msg = check_err(
+            "index_set I:i = {0..3};\nmain() { par (I) i = 2; }",
+        );
+        assert!(msg.contains("read-only"));
+    }
+
+    #[test]
+    fn subscript_arity_checked() {
+        let msg = check_err("#define N 4\nint d[N][N];\nindex_set I:i = {0..N-1};\nmain() { par (I) d[i] = 0; }");
+        assert!(msg.contains("rank"));
+    }
+
+    #[test]
+    fn index_element_scoping_and_shadowing() {
+        // Reuse of I inside the reduction hides the outer predicate — must
+        // check cleanly (paper §3.4 example).
+        check_ok(
+            "index_set I:i = {0..9};\nint a[10];\nmain() { par (I) st (i%2==0) a[i] = $+(I; i); }",
+        );
+    }
+
+    #[test]
+    fn elements_not_visible_outside() {
+        let msg = check_err(
+            "index_set I:i = {0..3};\nint a[4];\nmain() { a[i] = 0; }",
+        );
+        assert!(msg.contains("unknown identifier `i`"));
+    }
+
+    #[test]
+    fn solve_single_assignment_enforced() {
+        let msg = check_err(
+            "#define N 4\nindex_set I:i = {0..N-1};\nint a[N];\nmain() { solve (I) { a[i] = 1; a[i] = 2; } }",
+        );
+        assert!(msg.contains("more than one"));
+        // *solve is exempt.
+        check_ok(
+            "#define N 4\nindex_set I:i = {0..N-1};\nint a[N];\nmain() { *solve (I) { a[i] = 1; a[i] = 2; } }",
+        );
+    }
+
+    #[test]
+    fn solve_rejects_non_assignments() {
+        let msg = check_err(
+            "#define N 4\nindex_set I:i = {0..N-1};\nint a[N];\nmain() { solve (I) while (1) a[i] = 0; }",
+        );
+        assert!(msg.contains("only assignment"));
+    }
+
+    #[test]
+    fn others_needs_guarded_arm() {
+        let msg = check_err(
+            "index_set I:i = {0..3};\nint a[4];\nmain() { par (I) a[i] = 0; others a[i] = 1; }",
+        );
+        // The parser binds `others` only after `st` arms, so this becomes a
+        // parse error or a sema error depending on shape; either way the
+        // message mentions others/declaration.
+        assert!(!msg.is_empty());
+    }
+
+    #[test]
+    fn builtin_arity() {
+        let msg = check_err("main() { int x; x = power2(); }");
+        assert!(msg.contains("power2"));
+    }
+
+    #[test]
+    fn local_index_sets() {
+        check_ok(
+            "#define N 4\nint a[N];\nmain() { index_set I:i = {0..N-1}; par (I) a[i] = i; }",
+        );
+    }
+
+    #[test]
+    fn map_section_checked() {
+        let c = check_ok(
+            "#define N 4\nindex_set I:i = {0..N-1};\nint a[N], b[N];\nmap (I) { permute (I) b[i+1] :- a[i]; }\nmain() {}",
+        );
+        assert_eq!(c.maps.len(), 1);
+        let msg = check_err(
+            "index_set I:i = {0..3};\nint a[4];\nmap (I) { permute (I) q[i] :- a[i]; }\nmain() {}",
+        );
+        assert!(msg.contains("unknown array `q`"));
+    }
+
+    #[test]
+    fn float_subscript_rejected() {
+        let msg = check_err(
+            "#define N 4\nint a[N];\nfloat f;\nmain() { a[f] = 1; }",
+        );
+        assert!(msg.contains("subscripts must be integers"));
+    }
+
+    #[test]
+    fn float_truncation_warns_but_compiles() {
+        let mut d = Diagnostics::default();
+        let unit = parse("int x;\nmain() { x = 1.5; }", &mut d).unwrap();
+        assert!(check(unit, &mut d).is_some());
+        assert!(!d.has_errors());
+        assert!(d.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn void_variables_rejected() {
+        let msg = check_err("void v;\nmain() {}");
+        assert!(msg.contains("void"));
+    }
+
+    #[test]
+    fn function_redefinition() {
+        let msg = check_err("main() {}\nmain() {}");
+        assert!(msg.contains("redefined"));
+    }
+
+    #[test]
+    fn call_arity_of_user_functions() {
+        let msg = check_err("int f(int a, int b) { return a + b; }\nmain() { int x; x = f(1); }");
+        assert!(msg.contains("argument"));
+    }
+
+    #[test]
+    fn seq_single_set() {
+        let msg = check_err(
+            "index_set I:i = {0..3}, J:j = I;\nint a[4];\nmain() { seq (I, J) a[i] = j; }",
+        );
+        assert!(msg.contains("single index set"));
+    }
+}

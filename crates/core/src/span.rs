@@ -1,0 +1,55 @@
+//! Source positions and spans for diagnostics.
+
+/// A half-open byte range into the source text, with line/column of the
+/// start for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// A span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_spans() {
+        let a = Span::new(3, 7, 1, 4);
+        let b = Span::new(10, 12, 2, 1);
+        let m = a.to(b);
+        assert_eq!((m.start, m.end), (3, 12));
+        assert_eq!((m.line, m.col), (1, 4));
+        // Merging is order-insensitive for the byte range.
+        let m2 = b.to(a);
+        assert_eq!((m2.start, m2.end), (3, 12));
+    }
+
+    #[test]
+    fn display_line_col() {
+        assert_eq!(Span::new(0, 1, 3, 9).to_string(), "3:9");
+    }
+}

@@ -1,0 +1,64 @@
+//! UC built-in functions.
+//!
+//! The paper's example programs rely on a handful of helpers: `power2`
+//! (Figures 2 and 3), `rand` (Figures 4 and 9), `ABS` (Figure 11) and
+//! `swap` (the odd–even transposition sort of §3.7). They are implemented
+//! as compiler builtins that work both on the front end and elementwise
+//! inside parallel constructs.
+
+use crate::sema::ExprTy;
+
+/// Signature of a builtin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Builtin {
+    pub name: &'static str,
+    pub arity: usize,
+    pub ret: ExprTy,
+}
+
+const BUILTINS: &[Builtin] = &[
+    Builtin { name: "power2", arity: 1, ret: ExprTy::Int },
+    Builtin { name: "rand", arity: 0, ret: ExprTy::Int },
+    Builtin { name: "abs", arity: 1, ret: ExprTy::Int },
+    Builtin { name: "ABS", arity: 1, ret: ExprTy::Int },
+    Builtin { name: "min", arity: 2, ret: ExprTy::Int },
+    Builtin { name: "max", arity: 2, ret: ExprTy::Int },
+    Builtin { name: "swap", arity: 2, ret: ExprTy::Void },
+];
+
+/// Look up a builtin by name.
+pub fn builtin(name: &str) -> Option<Builtin> {
+    BUILTINS.iter().copied().find(|b| b.name == name)
+}
+
+/// `power2(k) = 2^k` on the front end (matches the paper's helper).
+pub fn power2(k: i64) -> i64 {
+    if (0..63).contains(&k) {
+        1i64 << k
+    } else if k < 0 {
+        0
+    } else {
+        i64::MAX
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup() {
+        assert_eq!(builtin("power2").unwrap().arity, 1);
+        assert_eq!(builtin("rand").unwrap().arity, 0);
+        assert_eq!(builtin("swap").unwrap().ret, ExprTy::Void);
+        assert!(builtin("printf").is_none());
+    }
+
+    #[test]
+    fn power2_values() {
+        assert_eq!(power2(0), 1);
+        assert_eq!(power2(5), 32);
+        assert_eq!(power2(-1), 0);
+        assert_eq!(power2(100), i64::MAX);
+    }
+}

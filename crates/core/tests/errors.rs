@@ -1,0 +1,249 @@
+//! Error behaviour: compile-time diagnostics and runtime failures, each
+//! exercising a rule of the paper.
+
+use uc_core::{Program, RuntimeError};
+
+fn compile_err(src: &str) -> String {
+    match Program::compile(src) {
+        Err(d) => d.to_string(),
+        Ok(_) => panic!("expected compile failure"),
+    }
+}
+
+fn runtime_err(src: &str) -> RuntimeError {
+    let mut p = Program::compile(src).unwrap_or_else(|d| panic!("compile failed:\n{d}"));
+    p.run().expect_err("expected runtime failure")
+}
+
+// ---- compile-time -----------------------------------------------------------
+
+#[test]
+fn goto_is_rejected() {
+    let msg = compile_err("main() { goto done; }");
+    assert!(msg.contains("goto"), "{msg}");
+}
+
+#[test]
+fn unknown_index_set() {
+    let msg = compile_err("main() { par (Nope) ; }");
+    assert!(msg.contains("Nope"), "{msg}");
+}
+
+#[test]
+fn index_element_is_read_only() {
+    let msg = compile_err("index_set I:i = {0..3};\nmain() { par (I) i = 0; }");
+    assert!(msg.contains("read-only"), "{msg}");
+}
+
+#[test]
+fn assignment_to_define_constant() {
+    let msg = compile_err("#define N 4\nmain() { N = 5; }");
+    assert!(msg.contains("constant"), "{msg}");
+}
+
+#[test]
+fn wrong_subscript_arity() {
+    let msg = compile_err(
+        "#define N 4\nint d[N][N];\nindex_set I:i = {0..N-1};\nmain() { par (I) d[i] = 0; }",
+    );
+    assert!(msg.contains("rank"), "{msg}");
+}
+
+#[test]
+fn empty_index_set_range() {
+    let msg = compile_err("index_set I:i = {5..2};\nmain() {}");
+    assert!(msg.contains("empty") || msg.contains("reversed"), "{msg}");
+}
+
+#[test]
+fn solve_double_assignment() {
+    let msg = compile_err(
+        "#define N 4\nindex_set I:i = {0..N-1};\nint a[N];\nmain() { solve (I) { a[i] = 1; a[i] = 2; } }",
+    );
+    assert!(msg.contains("more than one"), "{msg}");
+}
+
+#[test]
+fn solve_with_loops_inside() {
+    let msg = compile_err(
+        "#define N 4\nindex_set I:i = {0..N-1};\nint a[N];\nmain() { solve (I) for (;;) a[i] = 0; }",
+    );
+    assert!(msg.contains("assignment"), "{msg}");
+}
+
+#[test]
+fn bad_reduction_syntax() {
+    let msg = compile_err(
+        "index_set I:i = {0..3};\nint s;\nmain() { s = $+(I i); }",
+    );
+    assert!(msg.contains(";"), "{msg}");
+}
+
+#[test]
+fn unsupported_preprocessor() {
+    let msg = compile_err("#include <stdio.h>\nmain() {}");
+    assert!(msg.contains("include") || msg.contains("directive"), "{msg}");
+}
+
+#[test]
+fn negative_array_extent() {
+    let msg = compile_err("#define N 0\nint a[N];\nmain() {}");
+    assert!(msg.contains("positive"), "{msg}");
+}
+
+#[test]
+fn seq_over_multiple_sets() {
+    let msg = compile_err(
+        "index_set I:i = {0..3}, J:j = I;\nint a[4];\nmain() { seq (I, J) a[i] = j; }",
+    );
+    assert!(msg.contains("single"), "{msg}");
+}
+
+#[test]
+fn diagnostics_carry_positions() {
+    let msg = compile_err("int a[4];\n\nmain() { b = 1; }");
+    assert!(msg.contains("3:"), "line number expected: {msg}");
+}
+
+// ---- runtime ----------------------------------------------------------------
+
+#[test]
+fn distinct_multiple_assignment() {
+    let err = runtime_err(
+        r#"
+        #define N 4
+        index_set I:i = {0..N-1}, J:j = I;
+        int a[N], b[N];
+        main() {
+            par (I) b[i] = i;
+            par (I, J) a[i] = b[j];
+        }
+        "#,
+    );
+    assert!(matches!(err, RuntimeError::MultipleAssignment { ref name } if name == "a"), "{err}");
+}
+
+#[test]
+fn out_of_bounds_parallel_write() {
+    let err = runtime_err(
+        r#"
+        #define N 4
+        index_set I:i = {0..N-1};
+        int a[N];
+        main() { par (I) a[i + 1] = 0; }
+        "#,
+    );
+    assert!(matches!(err, RuntimeError::OutOfBounds { ref name } if name == "a"), "{err}");
+}
+
+#[test]
+fn out_of_bounds_front_end_access() {
+    let err = runtime_err(
+        r#"
+        #define N 4
+        int a[N], x;
+        main() { x = a[9]; }
+        "#,
+    );
+    assert!(matches!(err, RuntimeError::OutOfBounds { .. }), "{err}");
+}
+
+#[test]
+fn division_by_zero_parallel() {
+    let err = runtime_err(
+        r#"
+        #define N 4
+        index_set I:i = {0..N-1};
+        int a[N];
+        main() { par (I) a[i] = 10 / i; }
+        "#,
+    );
+    assert!(matches!(err, RuntimeError::Cm(_)), "{err}");
+}
+
+#[test]
+fn division_by_zero_guarded_is_fine() {
+    let mut p = Program::compile(
+        r#"
+        #define N 4
+        index_set I:i = {0..N-1};
+        int a[N];
+        main() { par (I) st (i != 0) a[i] = 12 / i; }
+        "#,
+    )
+    .unwrap();
+    p.run().unwrap();
+    assert_eq!(p.read_int_array("a").unwrap(), vec![0, 12, 6, 4]);
+}
+
+#[test]
+fn division_by_zero_front_end() {
+    let err = runtime_err("int x;\nmain() { x = 1 / (x - x); }");
+    assert!(matches!(err, RuntimeError::DivideByZero), "{err}");
+}
+
+#[test]
+fn iteration_limit_on_divergent_star_par() {
+    let src = r#"
+        #define N 4
+        index_set I:i = {0..N-1};
+        int a[N];
+        main() { *par (I) st (1) a[i] = a[i] + 1; }
+    "#;
+    let cfg = uc_core::ExecConfig { max_iterations: 100, ..Default::default() };
+    let mut p = Program::compile_with(src, cfg).unwrap();
+    let err = p.run().expect_err("must hit the iteration cap");
+    assert!(matches!(err, RuntimeError::IterationLimit(_)), "{err}");
+}
+
+#[test]
+fn iteration_limit_on_infinite_while() {
+    let src = "main() { while (1) ; }";
+    let cfg = uc_core::ExecConfig { max_iterations: 100, ..Default::default() };
+    let mut p = Program::compile_with(src, cfg).unwrap();
+    assert!(matches!(p.run(), Err(RuntimeError::IterationLimit(_))));
+}
+
+#[test]
+fn front_end_control_inside_par_rejected() {
+    let err = runtime_err(
+        r#"
+        #define N 4
+        index_set I:i = {0..N-1};
+        int a[N];
+        main() { par (I) while (a[i] < 3) a[i] += 1; }
+        "#,
+    );
+    assert!(matches!(err, RuntimeError::NotSupported(_)), "{err}");
+}
+
+#[test]
+fn scalar_assigned_parallel_value_rejected() {
+    let err = runtime_err(
+        r#"
+        #define N 4
+        index_set I:i = {0..N-1};
+        int s;
+        main() { par (I) s = i; }
+        "#,
+    );
+    assert!(matches!(err, RuntimeError::NotSupported(_)), "{err}");
+}
+
+#[test]
+fn runtime_errors_display_cleanly() {
+    let e = RuntimeError::MultipleAssignment { name: "a".into() };
+    assert!(e.to_string().contains("distinct values"));
+    let e = RuntimeError::OutOfBounds { name: "a".into() };
+    assert!(e.to_string().contains("bounds"));
+    let e = RuntimeError::IterationLimit("*par");
+    assert!(e.to_string().contains("*par"));
+}
+
+#[test]
+fn compile_error_recovery_reports_several() {
+    let msg = compile_err(
+        "index_set I:i = {0..3};\nmain() { x = 1; y = 2; par (Q) ; }",
+    );
+    assert!(msg.matches("error").count() >= 3, "{msg}");
+}

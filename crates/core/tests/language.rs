@@ -1,0 +1,559 @@
+//! Semantic coverage beyond the paper's own examples: floats, nesting,
+//! multi-arm constructs, oneof choice behaviour, local declarations,
+//! user functions, mapping variants, and the host API.
+
+use uc_core::{ExecConfig, Program};
+
+fn run(src: &str) -> Program {
+    let mut p = Program::compile(src).unwrap_or_else(|d| panic!("compile failed:\n{d}"));
+    p.run().unwrap_or_else(|e| panic!("runtime error: {e}"));
+    p
+}
+
+// ---- floats ---------------------------------------------------------------
+
+#[test]
+fn float_arrays_and_arithmetic() {
+    let mut p = run(r#"
+        #define N 8
+        index_set I:i = {0..N-1};
+        float f[N];
+        float total;
+        main() {
+            par (I) f[i] = i / 2.0;
+            total = $+(I; f[i]);
+        }
+    "#);
+    let f = p.read_float_array("f").unwrap();
+    assert_eq!(f[3], 1.5);
+    assert_eq!(p.read_scalar("total").unwrap().as_float(), 14.0);
+}
+
+#[test]
+fn float_min_max_reductions() {
+    let p = run(r#"
+        #define N 6
+        index_set I:i = {0..N-1};
+        float f[N];
+        float lo, hi;
+        main() {
+            par (I) f[i] = (i - 3) * 1.5;
+            lo = $<(I; f[i]);
+            hi = $>(I; f[i]);
+        }
+    "#);
+    assert_eq!(p.read_scalar("lo").unwrap().as_float(), -4.5);
+    assert_eq!(p.read_scalar("hi").unwrap().as_float(), 3.0);
+}
+
+#[test]
+fn int_float_promotion() {
+    let p = run(r#"
+        #define N 4
+        index_set I:i = {0..N-1};
+        int a[N];
+        float avg;
+        main() {
+            par (I) a[i] = i + 1;          /* 1 2 3 4 */
+            avg = $+(I; a[i]) / 4.0;
+        }
+    "#);
+    assert_eq!(p.read_scalar("avg").unwrap().as_float(), 2.5);
+}
+
+// ---- nesting --------------------------------------------------------------
+
+#[test]
+fn triple_nested_constructs() {
+    // par > seq > par with a reduction at the innermost level.
+    let mut p = run(r#"
+        #define N 4
+        index_set I:i = {0..N-1}, T:t = {0..1}, J:j = {0..N-1};
+        int a[N], acc[N];
+        main() {
+            par (I) { a[i] = i + 1; acc[i] = 0; }
+            par (I)
+                seq (T)
+                    acc[i] = acc[i] + $+(J st (j <= i) a[j]);
+        }
+    "#);
+    // Each i adds prefix-sum(i) twice.
+    let acc = p.read_int_array("acc").unwrap();
+    assert_eq!(acc, vec![2, 6, 12, 20]);
+}
+
+#[test]
+fn reduction_over_two_sets() {
+    let p = run(r#"
+        #define N 4
+        index_set I:i = {0..N-1}, J:j = I;
+        int s;
+        main() { s = $+(I, J; i * j); }
+    "#);
+    // Σ_i Σ_j i*j = (Σi)² = 36.
+    assert_eq!(p.read_int("s"), Some(36));
+}
+
+#[test]
+fn nested_reduction_inside_reduction_operand() {
+    // The paper's `last` idiom: compare against an inner reduction.
+    let p = run(r#"
+        #define N 6
+        index_set I:i = {0..N-1}, J:j = I;
+        int a[N], last;
+        main() {
+            par (I) a[i] = (i * 2) % 5;    /* 0 2 4 1 3 0 */
+            last = $>(J st (a[j] == $>(J; a[j])) j);
+        }
+    "#);
+    assert_eq!(p.read_int("last"), Some(2)); // max 4 at position 2
+}
+
+#[test]
+fn multi_arm_par_three_ways() {
+    let mut p = run(r#"
+        #define N 9
+        index_set I:i = {0..N-1};
+        int a[N];
+        main() {
+            par (I)
+                st (i % 3 == 0) a[i] = 100;
+                st (i % 3 == 1) a[i] = 200;
+                others a[i] = 300;
+        }
+    "#);
+    assert_eq!(
+        p.read_int_array("a").unwrap(),
+        vec![100, 200, 300, 100, 200, 300, 100, 200, 300]
+    );
+}
+
+#[test]
+fn overlapping_arms_both_execute() {
+    // Paper: "if an index element is enabled for more than one sc-exp,
+    // each one of the corresponding expressions is included".
+    let p = run(r#"
+        #define N 4
+        index_set I:i = {0..N-1};
+        int s;
+        main() {
+            s = $+(I st (i >= 0) 1 st (i >= 2) 10);
+        }
+    "#);
+    assert_eq!(p.read_int("s"), Some(4 + 20));
+}
+
+#[test]
+fn multi_arm_reduction_with_others() {
+    let p = run(r#"
+        #define N 6
+        index_set I:i = {0..N-1};
+        int a[N], s;
+        main() {
+            par (I) a[i] = i - 2;           /* -2 -1 0 1 2 3 */
+            s = $+(I st (a[i] > 0) a[i] others -a[i]);
+        }
+    "#);
+    assert_eq!(p.read_int("s"), Some(2 + 1 + 0 + 1 + 2 + 3));
+}
+
+// ---- seq ------------------------------------------------------------------
+
+#[test]
+fn star_seq_terminates_when_no_arm_enabled() {
+    // Bubble a value leftward one slot per sweep.
+    let mut p = run(r#"
+        #define N 6
+        index_set I:i = {0..N-1};
+        int a[N];
+        main() {
+            par (I) st (i == N-1) a[i] = 9;
+            *seq (I)
+                st (i > 0 && a[i] > a[i-1] && a[i-1] == 0) {
+                    a[i-1] = a[i];
+                    a[i] = 0;
+                }
+        }
+    "#);
+    let a = p.read_int_array("a").unwrap();
+    assert_eq!(a, vec![9, 0, 0, 0, 0, 0]);
+}
+
+#[test]
+fn seq_with_predicate_skips_elements() {
+    let mut p = run(r#"
+        index_set K:k = {0..9};
+        int picked[10], n;
+        main() {
+            n = 0;
+            seq (K) st (k % 3 == 0) { picked[n] = k; n = n + 1; }
+        }
+    "#);
+    assert_eq!(p.read_int("n"), Some(4));
+    assert_eq!(&p.read_int_array("picked").unwrap()[..4], &[0, 3, 6, 9]);
+}
+
+// ---- oneof ----------------------------------------------------------------
+
+#[test]
+fn oneof_executes_exactly_one_enabled_arm() {
+    let p = run(r#"
+        #define N 4
+        index_set I:i = {0..N-1};
+        int hits;
+        main() {
+            int dummy[4];
+            oneof (I)
+                st (i == 0) hits += 1;
+                st (i == 1) hits += 1;
+        }
+    "#);
+    assert_eq!(p.read_int("hits"), Some(1));
+}
+
+#[test]
+fn oneof_skips_disabled_arms() {
+    let p = run(r#"
+        #define N 4
+        index_set I:i = {0..N-1};
+        int hits;
+        main() {
+            oneof (I)
+                st (i > 100) hits += 1;
+                st (i == 2) hits += 10;
+        }
+    "#);
+    assert_eq!(p.read_int("hits"), Some(10));
+}
+
+#[test]
+fn oneof_with_nothing_enabled_is_a_noop() {
+    let p = run(r#"
+        #define N 4
+        index_set I:i = {0..N-1};
+        int hits;
+        main() {
+            oneof (I) st (i > 100) hits += 1;
+            *oneof (I) st (i > 100) hits += 1;
+        }
+    "#);
+    assert_eq!(p.read_int("hits"), Some(0));
+}
+
+// ---- declarations and functions -------------------------------------------
+
+#[test]
+fn function_local_arrays() {
+    let p = run(r#"
+        #define N 5
+        int out;
+        main() {
+            int tmp[N];
+            int k;
+            for (k = 0; k < N; k++) tmp[k] = k * k;
+            out = tmp[4];
+        }
+    "#);
+    assert_eq!(p.read_int("out"), Some(16));
+}
+
+#[test]
+fn user_functions_and_recursion() {
+    let p = run(r#"
+        int out;
+        int fact(int n) {
+            if (n <= 1) return 1;
+            return n * fact(n - 1);
+        }
+        main() { out = fact(6); }
+    "#);
+    assert_eq!(p.read_int("out"), Some(720));
+}
+
+#[test]
+fn user_function_called_in_parallel_with_scalar_args() {
+    let mut p = run(r#"
+        #define N 6
+        index_set I:i = {0..N-1}, T:t = {0..2};
+        int a[N];
+        int triple(int x) { return 3 * x; }
+        main() {
+            par (I) a[i] = 0;
+            seq (T)
+                par (I) a[i] = a[i] + triple(t);
+        }
+    "#);
+    // Each element accumulates 3*(0+1+2) = 9.
+    assert_eq!(p.read_int_array("a").unwrap(), vec![9; 6]);
+}
+
+#[test]
+fn par_local_initializer() {
+    let mut p = run(r#"
+        #define N 4
+        index_set I:i = {0..N-1};
+        int a[N];
+        main() {
+            par (I) {
+                int twice = i * 2;
+                a[i] = twice + 1;
+            }
+        }
+    "#);
+    assert_eq!(p.read_int_array("a").unwrap(), vec![1, 3, 5, 7]);
+}
+
+#[test]
+fn local_index_set_shadows_global() {
+    let mut p = run(r#"
+        index_set I:i = {0..9};
+        int a[10];
+        main() {
+            index_set I:i = {0..4};
+            par (I) a[i] = 1;
+        }
+    "#);
+    assert_eq!(p.read_int_array("a").unwrap()[..6], [1, 1, 1, 1, 1, 0]);
+}
+
+#[test]
+fn index_set_alias_uses_own_element_name() {
+    let mut p = run(r#"
+        #define N 4
+        index_set I:i = {0..N-1}, J:j = I;
+        int a[N][N];
+        main() { par (I, J) a[i][j] = i * 10 + j; }
+    "#);
+    let a = p.read_int_array("a").unwrap();
+    assert_eq!(a[2 * 4 + 3], 23);
+}
+
+// ---- mappings -------------------------------------------------------------
+
+#[test]
+fn fold_mapping_preserves_results() {
+    let plain = r#"
+        #define N 8
+        index_set I:i = {0..N-1};
+        int a[N], s;
+        main() {
+            par (I) a[i] = i * i;
+            s = $+(I; a[i] + a[N-1-i]);
+        }
+    "#;
+    let folded = r#"
+        #define N 8
+        index_set I:i = {0..N-1};
+        int a[N], s;
+        map (I) { fold (I) a[i] :- a[N-1-i]; }
+        main() {
+            par (I) a[i] = i * i;
+            s = $+(I; a[i] + a[N-1-i]);
+        }
+    "#;
+    let p1 = run(plain);
+    let p2 = run(folded);
+    assert_eq!(p1.read_int("s"), p2.read_int("s"));
+    let mut p2 = p2;
+    let mut p1 = p1;
+    assert_eq!(p1.read_int_array("a").unwrap(), p2.read_int_array("a").unwrap());
+}
+
+#[test]
+fn copy_mapping_preserves_results() {
+    let plain = r#"
+        #define N 8
+        index_set I:i = {0..N-1}, J:j = {0..2};
+        int a[N], out[N];
+        main() {
+            par (I) a[i] = i + 1;
+            par (I) out[i] = a[i] * 2;
+            par (I) a[i] = a[i] + 10;
+            par (I) out[i] = out[i] + a[i];
+        }
+    "#;
+    let copied = r#"
+        #define N 8
+        index_set I:i = {0..N-1}, J:j = {0..2};
+        int a[N], out[N];
+        map (I) { copy (J) a[i] :- a[i]; }
+        main() {
+            par (I) a[i] = i + 1;
+            par (I) out[i] = a[i] * 2;
+            par (I) a[i] = a[i] + 10;
+            par (I) out[i] = out[i] + a[i];
+        }
+    "#;
+    let mut p1 = run(plain);
+    let mut p2 = run(copied);
+    assert_eq!(p1.read_int_array("out").unwrap(), p2.read_int_array("out").unwrap());
+    assert_eq!(p1.read_int_array("a").unwrap(), p2.read_int_array("a").unwrap());
+}
+
+#[test]
+fn copy_mapping_eliminates_broadcast_router_traffic() {
+    // par (J, I) reads a[i] for every j: without copy that is a router
+    // broadcast from the [N]-shaped array into the [R,N] space; with
+    // `copy (J) a[i] :- a[i]` every (j,i) point owns a local replica.
+    // Written once, read every sweep: the trade the paper's copy mapping
+    // is for (writes broadcast to every replica; reads become local).
+    let plain = r#"
+        #define N 16
+        index_set J:j = {0..2}, I:i = {0..N-1}, T:t = {0..9};
+        int a[N];
+        int b[3][N];
+        main() {
+            par (I) a[i] = i * i;
+            seq (T)
+                par (J, I) b[j][i] = b[j][i] + a[i] + j;
+        }
+    "#;
+    let copied = r#"
+        #define N 16
+        index_set J:j = {0..2}, I:i = {0..N-1}, T:t = {0..9};
+        int a[N];
+        int b[3][N];
+        map (I) { copy (J) a[i] :- a[i]; }
+        main() {
+            par (I) a[i] = i * i;
+            seq (T)
+                par (J, I) b[j][i] = b[j][i] + a[i] + j;
+        }
+    "#;
+    let mut p1 = run(plain);
+    let mut p2 = run(copied);
+    assert_eq!(p1.read_int_array("b").unwrap(), p2.read_int_array("b").unwrap());
+    assert!(
+        p2.machine().counters().router < p1.machine().counters().router,
+        "copy mapping must cut router traffic: {} vs {}",
+        p2.machine().counters().router,
+        p1.machine().counters().router
+    );
+    assert!(p2.cycles() < p1.cycles(), "{} vs {}", p2.cycles(), p1.cycles());
+}
+
+// ---- misc semantics --------------------------------------------------------
+
+#[test]
+fn compound_assignment_in_parallel() {
+    let mut p = run(r#"
+        #define N 5
+        index_set I:i = {0..N-1};
+        int a[N];
+        main() {
+            par (I) a[i] = i;
+            par (I) a[i] += 10;
+            par (I) a[i] *= 2;
+        }
+    "#);
+    assert_eq!(p.read_int_array("a").unwrap(), vec![20, 22, 24, 26, 28]);
+}
+
+#[test]
+fn ternary_in_parallel_evaluates_elementwise() {
+    let mut p = run(r#"
+        #define N 6
+        index_set I:i = {0..N-1};
+        int a[N];
+        main() { par (I) a[i] = (i % 2 == 0) ? i : -i; }
+    "#);
+    assert_eq!(p.read_int_array("a").unwrap(), vec![0, -1, 2, -3, 4, -5]);
+}
+
+#[test]
+fn out_of_bounds_parallel_read_is_inf() {
+    // x[i+1] at the right edge reads INF, so the comparison is false —
+    // the odd-even sort's implicit boundary handling.
+    let p = run(r#"
+        #define N 4
+        index_set I:i = {0..N-1};
+        int x[N], edge_gt, edge_lt;
+        main() {
+            par (I) x[i] = 5;
+            edge_gt = $+(I st (x[i] > x[i+1]) 1);
+            edge_lt = $+(I st (x[i] < x[i+1]) 1);
+        }
+    "#);
+    assert_eq!(p.read_int("edge_gt"), Some(0));
+    // Only the last element sees INF on its right.
+    assert_eq!(p.read_int("edge_lt"), Some(1));
+}
+
+#[test]
+fn inf_literal() {
+    let p = run(r#"
+        #define N 4
+        index_set I:i = {0..N-1};
+        int m;
+        int d[N];
+        main() {
+            par (I) d[i] = (i == 2) ? i : INF;
+            m = $<(I; d[i]);
+        }
+    "#);
+    assert_eq!(p.read_int("m"), Some(2));
+}
+
+#[test]
+fn rand_is_deterministic_per_seed() {
+    let src = r#"
+        #define N 16
+        index_set I:i = {0..N-1};
+        int a[N];
+        main() { par (I) a[i] = rand() % 100; }
+    "#;
+    let mut p1 = run(src);
+    let mut p2 = run(src);
+    assert_eq!(p1.read_int_array("a").unwrap(), p2.read_int_array("a").unwrap());
+    let cfg = ExecConfig { seed: 999, ..Default::default() };
+    let mut p3 = Program::compile_with(src, cfg).unwrap();
+    p3.run().unwrap();
+    assert_ne!(p1.read_int_array("a").unwrap(), p3.read_int_array("a").unwrap());
+    assert!(p1.read_int_array("a").unwrap().iter().all(|&v| (0..100).contains(&v)));
+}
+
+#[test]
+fn emit_cstar_convenience() {
+    let p = run(r#"
+        #define N 4
+        index_set I:i = {0..N-1};
+        int a[N];
+        main() { par (I) st (a[i] != 0) a[i] = 1; }
+    "#);
+    let text = p.emit_cstar();
+    assert!(text.contains("domain SHAPE0"));
+    assert!(text.contains("where (a[i] != 0)"));
+}
+
+#[test]
+fn counters_expose_program_character() {
+    // Ranksort routes; the shifted kernel NEWSes; a pure map is ALU-only.
+    let mut pure = run(r#"
+        #define N 32
+        index_set I:i = {0..N-1};
+        int a[N];
+        main() { par (I) a[i] = i * i; }
+    "#);
+    let k = pure.machine().counters().clone();
+    assert_eq!(k.router, 0);
+    assert_eq!(k.news, 0);
+    assert!(k.alu > 0);
+    let _ = pure.read_int_array("a").unwrap();
+}
+
+#[test]
+fn two_programs_are_isolated() {
+    let src = r#"
+        #define N 4
+        index_set I:i = {0..N-1};
+        int a[N];
+        main() { par (I) a[i] = a[i] + 1; }
+    "#;
+    let mut p1 = run(src);
+    let p2 = Program::compile(src).unwrap(); // never run
+    drop(p2);
+    assert_eq!(p1.read_int_array("a").unwrap(), vec![1; 4]);
+    // Running main again accumulates (the machine persists state).
+    p1.run().unwrap();
+    assert_eq!(p1.read_int_array("a").unwrap(), vec![2; 4]);
+}

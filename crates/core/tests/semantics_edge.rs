@@ -1,0 +1,350 @@
+//! Edge-case semantics: unusual index sets, deep nesting, determinism
+//! guarantees, and interactions between constructs and masks.
+
+use uc_core::{ExecConfig, Program};
+
+fn run(src: &str) -> Program {
+    let mut p = Program::compile(src).unwrap_or_else(|d| panic!("compile failed:\n{d}"));
+    p.run().unwrap_or_else(|e| panic!("runtime error: {e}"));
+    p
+}
+
+#[test]
+fn negative_range_index_sets() {
+    let p = run(r#"
+        index_set I:i = {-3..3};
+        int s, m;
+        main() {
+            s = $+(I; i);
+            m = $<(I; i * i);
+        }
+    "#);
+    assert_eq!(p.read_int("s"), Some(0));
+    assert_eq!(p.read_int("m"), Some(0));
+}
+
+#[test]
+fn offset_range_binds_axis_plus_lo() {
+    // A {2..5} set still addresses arrays correctly (value = coord + 2).
+    let mut p = run(r#"
+        index_set I:i = {2..5};
+        int a[8];
+        main() { par (I) a[i] = i * 10; }
+    "#);
+    assert_eq!(p.read_int_array("a").unwrap(), vec![0, 0, 20, 30, 40, 50, 0, 0]);
+}
+
+#[test]
+fn singleton_index_set() {
+    let p = run(r#"
+        index_set I:i = {5..5};
+        int s;
+        main() { s = $+(I; i + 1); }
+    "#);
+    assert_eq!(p.read_int("s"), Some(6));
+}
+
+#[test]
+fn three_dimensional_arrays() {
+    let mut p = run(r#"
+        #define N 3
+        index_set I:i = {0..N-1}, J:j = I, K:k = I;
+        int t[N][N][N], s;
+        main() {
+            par (I, J, K) t[i][j][k] = i * 100 + j * 10 + k;
+            s = $+(I, J, K st (i == j && j == k) t[i][j][k]);
+        }
+    "#);
+    let t = p.read_int_array("t").unwrap();
+    assert_eq!(t[1 * 9 + 2 * 3 + 0], 120);
+    assert_eq!(p.read_int("s"), Some(0 + 111 + 222));
+}
+
+#[test]
+fn arb_reduction_is_deterministic() {
+    let src = r#"
+        #define N 16
+        index_set I:i = {0..N-1};
+        int a[N], pick;
+        main() {
+            par (I) a[i] = i * 2;
+            pick = $,(I st (a[i] % 4 == 0) a[i]);
+        }
+    "#;
+    let p1 = run(src);
+    let p2 = run(src);
+    assert_eq!(p1.read_int("pick"), p2.read_int("pick"));
+    let v = p1.read_int("pick").unwrap();
+    assert!(v % 4 == 0 && (0..32).contains(&v));
+}
+
+#[test]
+fn deeply_nested_masks_compose() {
+    // Nested par constructs AND their predicates: innermost statements
+    // see the conjunction of every enclosing mask.
+    let mut p = run(r#"
+        #define N 4
+        index_set I:i = {0..N-1}, J:j = I;
+        int m[N][N];
+        main() {
+            par (I)
+                st (i % 2 == 0)
+                    par (J)
+                        st (j > i) m[i][j] = 1;
+        }
+    "#);
+    let m = p.read_int_array("m").unwrap();
+    for i in 0..4 {
+        for j in 0..4 {
+            let expect = (i % 2 == 0 && j > i) as i64;
+            assert_eq!(m[i * 4 + j], expect, "({i},{j})");
+        }
+    }
+}
+
+#[test]
+fn reduction_sees_enclosing_mask() {
+    // A reduction inside an st-guarded par only runs for enabled i, but
+    // ranges over ALL j (fresh index set ⇒ fresh full extent).
+    let mut p = run(r#"
+        #define N 4
+        index_set I:i = {0..N-1}, J:j = I;
+        int out[N];
+        main() {
+            par (I) out[i] = -1;
+            par (I) st (i >= 2) out[i] = $+(J; 1);
+        }
+    "#);
+    assert_eq!(p.read_int_array("out").unwrap(), vec![-1, -1, 4, 4]);
+}
+
+#[test]
+fn seq_respects_element_order_of_lists() {
+    // Overwrites happen in declared order: the LAST element wins.
+    let p = run(r#"
+        index_set K:k = {7, 3, 9, 3};
+        int last;
+        main() { seq (K) last = k; }
+    "#);
+    assert_eq!(p.read_int("last"), Some(3));
+}
+
+#[test]
+fn duplicate_elements_in_list_sets() {
+    // {3,3} enables element 3 twice; a par assignment writes the same
+    // value twice — legal under the identical-values rule.
+    let mut p = run(r#"
+        index_set K:k = {3, 3};
+        int a[8];
+        main() { par (K) a[k] = k * 2; }
+    "#);
+    assert_eq!(p.read_int_array("a").unwrap()[3], 6);
+}
+
+#[test]
+fn swap_on_plain_scalars() {
+    let p = run(r#"
+        int x = 3, y = 9;
+        main() { swap(x, y); }
+    "#);
+    assert_eq!(p.read_int("x"), Some(9));
+    assert_eq!(p.read_int("y"), Some(3));
+}
+
+#[test]
+fn swap_is_synchronous_in_parallel() {
+    // swap(x[i], x[i+1]) under a full mask would be racy if reads did not
+    // precede writes; restrict to even i so pairs are disjoint.
+    let mut p = run(r#"
+        #define N 8
+        index_set I:i = {0..N-1};
+        int x[N];
+        main() {
+            par (I) x[i] = i;
+            par (I) st (i % 2 == 0) swap(x[i], x[i+1]);
+        }
+    "#);
+    assert_eq!(p.read_int_array("x").unwrap(), vec![1, 0, 3, 2, 5, 4, 7, 6]);
+}
+
+#[test]
+fn solve_with_block_of_assignments() {
+    // Two coupled single-assignment arrays: b depends on a.
+    let mut p = run(r#"
+        #define N 6
+        index_set I:i = {0..N-1};
+        int a[N], b[N];
+        main() {
+            solve (I) {
+                a[i] = (i == 0) ? 1 : b[i-1] * 2;
+                b[i] = a[i] + 1;
+            }
+        }
+    "#);
+    // a = 1, b = 2, a = 4, b = 5, a = 10, b = 11, ...
+    let a = p.read_int_array("a").unwrap();
+    let b = p.read_int_array("b").unwrap();
+    assert_eq!(a[0], 1);
+    for i in 0..6usize {
+        assert_eq!(b[i], a[i] + 1);
+        if i > 0 {
+            assert_eq!(a[i], b[i - 1] * 2);
+        }
+    }
+}
+
+#[test]
+fn solve_backward_dependency_order() {
+    // Dependencies run right-to-left; the *par translation must still
+    // find the order (source order is the wrong order here).
+    let mut p = run(r#"
+        #define N 6
+        index_set I:i = {0..N-1};
+        int a[N];
+        main() {
+            solve (I)
+                a[i] = (i == N-1) ? 100 : a[i+1] - 7;
+        }
+    "#);
+    assert_eq!(
+        p.read_int_array("a").unwrap(),
+        vec![65, 72, 79, 86, 93, 100]
+    );
+}
+
+#[test]
+fn star_solve_equals_hand_written_star_par() {
+    // §3.6: a *solve may be refined by the programmer into a *par with an
+    // explicit fixed-point predicate; both must compute the same result.
+    let star_solve = r#"
+        #define N 8
+        index_set I:i = {0..N-1}, K:k = I;
+        int d[N];
+        main() {
+            par (I) d[i] = (i == 0) ? 0 : 100 + i;
+            *solve (I)
+                d[i] = $<(K st (k == i || k + 1 == i) d[k] + (k + 1 == i));
+        }
+    "#;
+    let star_par = r#"
+        #define N 8
+        index_set I:i = {0..N-1};
+        int d[N];
+        main() {
+            par (I) d[i] = (i == 0) ? 0 : 100 + i;
+            *par (I) st (i > 0 && d[i-1] + 1 < d[i])
+                d[i] = d[i-1] + 1;
+        }
+    "#;
+    let mut p1 = run(star_solve);
+    let mut p2 = run(star_par);
+    assert_eq!(
+        p1.read_int_array("d").unwrap(),
+        p2.read_int_array("d").unwrap()
+    );
+    assert_eq!(p2.read_int_array("d").unwrap(), (0..8).collect::<Vec<i64>>());
+}
+
+#[test]
+fn results_are_thread_count_independent() {
+    // The simulator parallelises big fields with rayon; results and the
+    // cycle clock must not depend on it. Run the same program with sizes
+    // straddling the parallel threshold.
+    for n in [64i64, 20000] {
+        let src = r#"
+            #define N 64
+            index_set I:i = {0..N-1};
+            int a[N], s;
+            main() {
+                par (I) a[i] = (i * 2654435761) % 1000;
+                s = $+(I st (a[i] % 2 == 0) a[i]);
+            }
+        "#;
+        let mut p1 =
+            Program::compile_with_defines(src, ExecConfig::default(), &[("N", n)]).unwrap();
+        p1.run().unwrap();
+        let mut p2 =
+            Program::compile_with_defines(src, ExecConfig::default(), &[("N", n)]).unwrap();
+        p2.run().unwrap();
+        assert_eq!(p1.read_int("s"), p2.read_int("s"));
+        assert_eq!(p1.cycles(), p2.cycles());
+    }
+}
+
+#[test]
+fn vp_ratio_shows_in_cycles() {
+    // The same program over 16K and over 64K elements on a 16K machine:
+    // 4x the VPs must cost ~4x the cycles (the Figure 7 staircase).
+    let src = r#"
+        #define N 16384
+        index_set I:i = {0..N-1};
+        int a[N];
+        main() { par (I) a[i] = i * 3; }
+    "#;
+    let cycles = |n: i64| {
+        let mut p =
+            Program::compile_with_defines(src, ExecConfig::default(), &[("N", n)]).unwrap();
+        p.run().unwrap();
+        p.cycles()
+    };
+    let one = cycles(16 * 1024);
+    let four = cycles(64 * 1024);
+    let ratio = four as f64 / one as f64;
+    assert!((3.0..5.0).contains(&ratio), "expected ~4x, got {ratio}");
+}
+
+#[test]
+fn pointer_jumping_list_ranking() {
+    // List ranking by pointer jumping: the classic CM idiom that is all
+    // router traffic (every hop follows an arbitrary successor pointer).
+    // next[i] = i+1 on a linked list laid out by a permutation; rank =
+    // distance to the tail, doubling hops each round.
+    let mut p = run(r#"
+        #define N 16
+        index_set I:i = {0..N-1}, T:t = {0..3};
+        int next[N], rank[N];
+        main() {
+            /* a list threaded through the array: i -> (i + 5) % N, tail
+               marked with next = self, laid out so hops are scattered. */
+            par (I) next[i] = (i + 5) % N;
+            par (I) st (i == 11) next[i] = i;       /* tail */
+            par (I) st (next[i] == i) rank[i] = 0;
+            par (I) st (next[i] != i) rank[i] = 1;
+            seq (T) {                               /* log2(16) rounds */
+                par (I) st (next[i] != next[next[i]])
+                    rank[i] = rank[i] + rank[next[i]];
+                par (I) rank[i] = rank[i];          /* keep step shape */
+                par (I) next[i] = next[next[i]];
+            }
+        }
+    "#);
+    let rank = p.read_int_array("rank").unwrap();
+    // Walk the list on the host to get true distances.
+    let next: Vec<usize> = (0..16).map(|i| if i == 11 { 11 } else { (i + 5) % 16 }).collect();
+    for i in 0..16usize {
+        let mut d = 0;
+        let mut cur = i;
+        while next[cur] != cur {
+            cur = next[cur];
+            d += 1;
+        }
+        assert_eq!(rank[i], d as i64, "node {i}");
+    }
+    // Pointer jumping is router-bound.
+    assert!(p.machine().counters().router > 10);
+}
+
+#[test]
+fn cstar_translation_of_paper_programs() {
+    // The emitter handles each §3 example without panicking and produces
+    // domain declarations for every shape.
+    for src in [
+        "index_set I:i = {0..9};\nint a[10];\nmain() { par (I) st (a[i]!=0) a[i] = 1; }",
+        "#define N 8\nindex_set I:i = {0..N-1}, J:j = I;\nint d[N][N];\nmain() { par (I,J) d[i][j] = $+(J; d[i][j]); }",
+        "#define N 8\nindex_set I:i = {0..N-1};\nint a[N], cnt[N];\nmain() { *par (I) st (i >= power2(cnt[i])) { a[i] = a[i] + a[i-power2(cnt[i])]; cnt[i] = cnt[i] + 1; } }",
+    ] {
+        let p = Program::compile(src).unwrap();
+        let text = p.emit_cstar();
+        assert!(text.contains("domain"), "{text}");
+    }
+}

@@ -1,0 +1,37 @@
+//! # uc-cstar — a C\*-style baseline on the CM simulator
+//!
+//! The paper's evaluation (§5) compares UC against **C\*** (Rose & Steele
+//! 1987), Thinking Machines' data-parallel C dialect built around
+//! `domain` types: a struct replicated across processors, `where` clauses
+//! selecting active instances, and min/max assignment operators
+//! (`<?=`, `>?=`).
+//!
+//! This crate is that baseline: an embedded DSL with C\*'s operational
+//! flavour (domains, per-instance member fields, selection, combining
+//! assignment) executing on the same [`uc_cm`] simulator the UC executor
+//! uses. Like the paper's setup — where both compilers emitted PARIS
+//! instructions for the same machine — comparing UC programs against
+//! these hand-written C\* programs measures the *compiler overhead* of
+//! UC's higher-level constructs, not a different machine.
+//!
+//! [`programs`] contains the paper's Appendix programs (Figures 9 and 10)
+//! plus the grid benchmark, ready for the figure harness.
+//!
+//! ## Example
+//!
+//! ```
+//! use uc_cstar::programs;
+//!
+//! // A 4-node graph as a flattened distance matrix.
+//! let n = 4;
+//! let mut d = vec![1i64; n * n];
+//! for i in 0..n { d[i * n + i] = 0; }
+//! let (dist, cycles) = programs::apsp_n2(&d, n, 16 * 1024);
+//! assert_eq!(dist[3], 1);
+//! assert!(cycles > 0);
+//! ```
+
+pub mod dsl;
+pub mod programs;
+
+pub use dsl::{CStar, Domain, Pvar};

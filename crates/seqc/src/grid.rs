@@ -1,0 +1,135 @@
+//! The sequential grid-goal program of §5.
+//!
+//! The same iterative algorithm the UC program runs on the CM: every
+//! sweep, each non-wall cell takes the minimum of its four neighbours'
+//! distances plus one; sweeps repeat until nothing changes. This mirrors
+//! the paper's sequential C program (which implements the identical
+//! relaxation on the front end), so the op-count scales as
+//! `rows × cols × sweeps` with `sweeps ≈ path diameter`.
+
+use crate::SeqMachine;
+
+/// Result of a sequential grid-goal run.
+#[derive(Debug, Clone)]
+pub struct GridRun {
+    pub dist: Vec<i64>,
+    pub cycles: u64,
+    pub sweeps: usize,
+}
+
+/// Run the relaxation on `machine`. `walls` marks disconnected cells; the
+/// goal is cell (0,0); `dmax` is the unreached sentinel (wall cells hold
+/// `2*dmax`).
+pub fn grid_goal(
+    machine: &mut SeqMachine,
+    rows: usize,
+    cols: usize,
+    walls: &[bool],
+    dmax: i64,
+) -> GridRun {
+    assert_eq!(walls.len(), rows * cols);
+    let mut dist: Vec<i64> = (0..rows * cols)
+        .map(|p| {
+            if p == 0 {
+                0
+            } else if walls[p] {
+                dmax * 2
+            } else {
+                dmax
+            }
+        })
+        .collect();
+    machine.charge((rows * cols) as u64); // initialisation pass
+
+    let at = |d: &Vec<i64>, r: isize, c: isize| -> i64 {
+        if r < 0 || c < 0 || r as usize >= rows || c as usize >= cols {
+            i64::MAX
+        } else {
+            d[r as usize * cols + c as usize]
+        }
+    };
+
+    let mut sweeps = 0usize;
+    loop {
+        sweeps += 1;
+        let mut changed = false;
+        let prev = dist.clone();
+        machine.charge((rows * cols) as u64); // state copy for the sweep
+        for r in 0..rows as isize {
+            for c in 0..cols as isize {
+                let p = r as usize * cols + c as usize;
+                // ~8 abstract ops per cell: 4 neighbour loads, 3 mins,
+                // one compare/store.
+                machine.charge(8);
+                if (r == 0 && c == 0) || walls[p] {
+                    continue;
+                }
+                let m = at(&prev, r - 1, c)
+                    .min(at(&prev, r + 1, c))
+                    .min(at(&prev, r, c - 1))
+                    .min(at(&prev, r, c + 1));
+                if m < dmax * 2 && m + 1 < dist[p] {
+                    dist[p] = m + 1;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+        if sweeps > 4 * (rows + cols) {
+            break;
+        }
+    }
+    GridRun { dist, cycles: machine.cycles(), sweeps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+
+    #[test]
+    fn open_grid_is_manhattan() {
+        let mut m = SeqMachine::new();
+        let run = grid_goal(&mut m, 6, 6, &vec![false; 36], 1 << 30);
+        for r in 0..6usize {
+            for c in 0..6usize {
+                assert_eq!(run.dist[r * 6 + c], (r + c) as i64);
+            }
+        }
+        assert!(run.cycles > 0);
+    }
+
+    #[test]
+    fn matches_bfs_oracle_with_walls() {
+        let (rows, cols) = (10usize, 10usize);
+        let mut walls = vec![false; rows * cols];
+        // Diagonal wall with a gap, like Figure 11's obstacle.
+        for k in 2..9 {
+            walls[k * cols + (cols - 1 - k)] = true;
+        }
+        let mut m = SeqMachine::new();
+        let run = grid_goal(&mut m, rows, cols, &walls, 1 << 30);
+        let bfs = oracle::grid_bfs(rows, cols, &walls);
+        for p in 0..rows * cols {
+            if walls[p] {
+                continue;
+            }
+            match bfs[p] {
+                Some(d) => assert_eq!(run.dist[p], d as i64, "cell {p}"),
+                None => assert!(run.dist[p] >= 1 << 30, "unreachable cell {p}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sweeps_scale_with_diameter() {
+        let mut m1 = SeqMachine::new();
+        let r1 = grid_goal(&mut m1, 8, 8, &vec![false; 64], 1 << 30);
+        let mut m2 = SeqMachine::new();
+        let r2 = grid_goal(&mut m2, 16, 16, &vec![false; 256], 1 << 30);
+        assert!(r2.sweeps > r1.sweeps);
+        assert!(r2.cycles > 4 * r1.cycles, "cost grows superlinearly in rows");
+    }
+}

@@ -1,0 +1,96 @@
+//! # uc-seqc — sequential baselines (the paper's "C on a SUN 4")
+//!
+//! Figure 8 of the paper compares the CM execution of the UC grid
+//! program against a sequential C program on the SUN 4 front end, both
+//! plain and compiled with `-O`. The real machines are gone, so this
+//! crate provides the same baselines over an **abstract-operation cost
+//! model**: every memory access / arithmetic step of the sequential
+//! program charges one abstract cycle, the same unit the CM simulator's
+//! `uc_cm::cost::CostModel` uses. The `-O` variant models the
+//! compiler-optimisation constant of the paper's third curve: identical
+//! algorithm and op count, each op costing a documented fraction
+//! ([`OPT_SPEEDUP`]) of a plain op — which is how `cc -O` shows up at
+//! this granularity (register promotion, strength reduction), not as an
+//! algorithmic change.
+//!
+//! [`oracle`] holds reference implementations used by tests across the
+//! workspace.
+
+pub mod grid;
+pub mod oracle;
+
+/// Cost (in abstract cycles) of one sequential abstract operation for the
+/// plain-compiled program. The CM cost model (`uc_cm::cost::CostModel`)
+/// charges one SIMD macro-instruction 30–600 of these units, reflecting
+/// the front-end-dispatch ratio between the CM-2 and its SUN-4 front end.
+pub const SEQ_OP_COST: u64 = 1;
+
+/// Speed-up factor of the `-O`-compiled program: each abstract op costs
+/// `SEQ_OP_COST / OPT_SPEEDUP` (rounded up). 2–3× is the classic range
+/// for un-optimised vs `-O` K&R C on late-80s compilers.
+pub const OPT_SPEEDUP: u64 = 2;
+
+/// A sequential "machine": counts abstract operations and converts them
+/// to the shared cycle unit.
+#[derive(Debug, Default, Clone)]
+pub struct SeqMachine {
+    ops: u64,
+    optimized: bool,
+}
+
+impl SeqMachine {
+    /// A plain-compiled sequential machine.
+    pub fn new() -> Self {
+        SeqMachine { ops: 0, optimized: false }
+    }
+
+    /// A `-O`-compiled sequential machine.
+    pub fn optimized() -> Self {
+        SeqMachine { ops: 0, optimized: true }
+    }
+
+    /// Charge `n` abstract operations.
+    #[inline]
+    pub fn charge(&mut self, n: u64) {
+        self.ops += n;
+    }
+
+    /// Abstract operations executed.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Elapsed cycles in the shared unit.
+    pub fn cycles(&self) -> u64 {
+        if self.optimized {
+            (self.ops * SEQ_OP_COST).div_ceil(OPT_SPEEDUP)
+        } else {
+            self.ops * SEQ_OP_COST
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charging_and_conversion() {
+        let mut m = SeqMachine::new();
+        m.charge(10);
+        m.charge(5);
+        assert_eq!(m.ops(), 15);
+        assert_eq!(m.cycles(), 15 * SEQ_OP_COST);
+    }
+
+    #[test]
+    fn optimized_is_faster_same_ops() {
+        let mut plain = SeqMachine::new();
+        let mut opt = SeqMachine::optimized();
+        plain.charge(100);
+        opt.charge(100);
+        assert_eq!(plain.ops(), opt.ops());
+        assert!(opt.cycles() < plain.cycles());
+        assert_eq!(opt.cycles(), plain.cycles().div_ceil(OPT_SPEEDUP));
+    }
+}

@@ -1,0 +1,136 @@
+//! Reference implementations used as test oracles across the workspace.
+
+/// Floyd–Warshall all-pairs shortest paths over a flattened N×N matrix.
+pub fn floyd_warshall(mut d: Vec<i64>, n: usize) -> Vec<i64> {
+    assert_eq!(d.len(), n * n);
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let via = d[i * n + k].saturating_add(d[k * n + j]);
+                if via < d[i * n + j] {
+                    d[i * n + j] = via;
+                }
+            }
+        }
+    }
+    d
+}
+
+/// BFS distances from cell (0,0) on a 4-connected grid with walls.
+/// `None` = unreachable (or a wall).
+pub fn grid_bfs(rows: usize, cols: usize, walls: &[bool]) -> Vec<Option<usize>> {
+    assert_eq!(walls.len(), rows * cols);
+    let mut dist = vec![None; rows * cols];
+    if walls[0] {
+        return dist;
+    }
+    let mut queue = std::collections::VecDeque::new();
+    dist[0] = Some(0);
+    queue.push_back(0usize);
+    while let Some(p) = queue.pop_front() {
+        let (r, c) = (p / cols, p % cols);
+        let d = dist[p].unwrap();
+        let mut push = |q: usize| {
+            if !walls[q] && dist[q].is_none() {
+                dist[q] = Some(d + 1);
+                queue.push_back(q);
+            }
+        };
+        if r > 0 {
+            push(p - cols);
+        }
+        if r + 1 < rows {
+            push(p + cols);
+        }
+        if c > 0 {
+            push(p - 1);
+        }
+        if c + 1 < cols {
+            push(p + 1);
+        }
+    }
+    dist
+}
+
+/// The deterministic benchmark graph both UC and C\* programs initialise:
+/// zero diagonal, `(i*7 + j*13) % n + 1` elsewhere.
+pub fn bench_graph(n: usize) -> Vec<i64> {
+    let mut d = vec![0i64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                d[i * n + j] = ((i * 7 + j * 13) % n + 1) as i64;
+            }
+        }
+    }
+    d
+}
+
+/// The paper's Figure 11 obstacle: a diagonal wall of length `n/2`
+/// centred on the anti-diagonal of an n×n grid.
+pub fn figure11_walls(n: usize) -> Vec<bool> {
+    let mut walls = vec![false; n * n];
+    for i in 0..n {
+        let j = n - 1 - i;
+        if (i as i64 - n as i64 / 2).abs() <= n as i64 / 4 {
+            walls[i * n + j] = true;
+        }
+    }
+    walls
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floyd_small() {
+        // 0 -1-> 1 -1-> 2, direct 0->2 = 10.
+        let inf = 1 << 20;
+        let d = vec![0, 1, 10, inf, 0, 1, inf, inf, 0];
+        let r = floyd_warshall(d, 3);
+        assert_eq!(r[2], 2);
+    }
+
+    #[test]
+    fn bfs_open_grid() {
+        let d = grid_bfs(3, 3, &[false; 9]);
+        assert_eq!(d[0], Some(0));
+        assert_eq!(d[8], Some(4));
+    }
+
+    #[test]
+    fn bfs_blocked_goal() {
+        let mut walls = [false; 9];
+        walls[0] = true;
+        assert!(grid_bfs(3, 3, &walls).iter().all(|d| d.is_none()));
+    }
+
+    #[test]
+    fn bench_graph_properties() {
+        let d = bench_graph(8);
+        for i in 0..8 {
+            assert_eq!(d[i * 8 + i], 0);
+            for j in 0..8 {
+                if i != j {
+                    assert!((1..=8).contains(&d[i * 8 + j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure11_wall_sits_on_antidiagonal() {
+        let n = 16;
+        let walls = figure11_walls(n);
+        let count = walls.iter().filter(|&&w| w).count();
+        assert!(count > 0 && count <= n, "wall length bounded by n, got {count}");
+        for i in 0..n {
+            for j in 0..n {
+                if walls[i * n + j] {
+                    assert_eq!(i + j, n - 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # uc — UC: a language for the Connection Machine
+//!
+//! Facade crate re-exporting the full reproduction of *UC: A Language for
+//! the Connection Machine* (Bagrodia, Chandy & Kwan, Supercomputing 1990):
+//!
+//! * [`cm`] — the Connection Machine SIMD simulator substrate,
+//! * [`lang`] — the UC language: lexer, parser, semantic analysis,
+//!   optimizer, map section and executor,
+//! * [`cstar`] — the C\*-style baseline DSL the paper compares against,
+//! * [`seqc`] — sequential baselines for the paper's Figure 8.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use uc::lang::Program;
+//!
+//! let src = r#"
+//!     index_set I:i = {0..9};
+//!     int a[10];
+//!     main() {
+//!         par (I) a[i] = i * i;
+//!     }
+//! "#;
+//! let mut p = Program::compile(src).expect("valid UC program");
+//! p.run().expect("runs");
+//! assert_eq!(p.read_int_array("a").unwrap()[3], 9);
+//! ```
+
+pub use uc_cm as cm;
+pub use uc_core as lang;
+pub use uc_cstar as cstar;
+pub use uc_seqc as seqc;

@@ -1,0 +1,132 @@
+//! `uc` — the command-line driver.
+//!
+//! ```text
+//! uc run <file.uc> [-D NAME=VALUE]...     compile and run on the simulated CM
+//! uc check <file.uc>                      parse + semantic analysis only
+//! uc emit-cstar <file.uc>                 print the C* translation (§5)
+//! ```
+//!
+//! `run` executes `main()` and then prints every global scalar and array
+//! together with the simulated cycle count and instruction mix — the
+//! numbers the paper's figures plot.
+
+use std::process::ExitCode;
+
+use uc::lang::{ExecConfig, Program};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprintln!("usage: uc <run|check|emit-cstar> <file.uc> [-D NAME=VALUE]...");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(path) = rest.first() else {
+        eprintln!("error: missing input file");
+        return ExitCode::FAILURE;
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut defines: Vec<(String, i64)> = Vec::new();
+    let mut it = rest[1..].iter();
+    while let Some(a) = it.next() {
+        if a == "-D" {
+            let Some(spec) = it.next() else {
+                eprintln!("error: -D needs NAME=VALUE");
+                return ExitCode::FAILURE;
+            };
+            match spec.split_once('=') {
+                Some((n, v)) => match v.parse::<i64>() {
+                    Ok(v) => defines.push((n.to_string(), v)),
+                    Err(_) => {
+                        eprintln!("error: -D {spec}: value must be an integer");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    eprintln!("error: -D {spec}: expected NAME=VALUE");
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            eprintln!("error: unknown option {a}");
+            return ExitCode::FAILURE;
+        }
+    }
+    let define_refs: Vec<(&str, i64)> =
+        defines.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+
+    let program = Program::compile_with_defines(&src, ExecConfig::default(), &define_refs);
+    let mut program = match program {
+        Ok(p) => p,
+        Err(diags) => {
+            eprint!("{diags}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd {
+        "check" => {
+            println!("{path}: ok");
+            ExitCode::SUCCESS
+        }
+        "emit-cstar" => {
+            print!("{}", program.emit_cstar());
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            if let Err(e) = program.run() {
+                eprintln!("runtime error: {e}");
+                return ExitCode::FAILURE;
+            }
+            report(&mut program);
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("error: unknown command `{other}` (run | check | emit-cstar)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn report(p: &mut Program) {
+    let mut scalars: Vec<String> = p.scalar_names();
+    scalars.sort();
+    for name in scalars {
+        if let Some(v) = p.read_scalar(&name) {
+            match v {
+                uc::cm::Scalar::Float(f) => println!("{name} = {f}"),
+                other => println!("{name} = {}", other.as_int()),
+            }
+        }
+    }
+    let mut arrays: Vec<String> = p.array_names();
+    arrays.sort();
+    for name in arrays {
+        let shape = p.shape(&name).unwrap_or(&[]).to_vec();
+        if let Ok(data) = p.read_int_array(&name) {
+            println!("{name}{shape:?} = {data:?}");
+        } else if let Ok(data) = p.read_float_array(&name) {
+            println!("{name}{shape:?} = {data:?}");
+        }
+    }
+    let k = p.machine().counters();
+    eprintln!(
+        "-- {} cycles on a {}-processor CM ({} alu, {} news, {} router, {} scan, {} context, {} front-end)",
+        p.cycles(),
+        p.machine().phys_procs(),
+        k.alu,
+        k.news,
+        k.router,
+        k.scan,
+        k.context,
+        k.front_end,
+    );
+}

@@ -1,0 +1,92 @@
+//! End-to-end tests of the `uc` command-line driver.
+
+use std::io::Write;
+use std::process::Command;
+
+fn uc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_uc"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const PROGRAM: &str = r#"
+    #define N 8
+    index_set I:i = {0..N-1};
+    int a[N], s;
+    main() {
+        par (I) a[i] = i * i;
+        s = $+(I; a[i]);
+    }
+"#;
+
+#[test]
+fn run_prints_globals_and_cycles() {
+    let path = write_temp("uc_cli_run.uc", PROGRAM);
+    let out = uc().args(["run", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("s = 140"), "{stdout}");
+    assert!(stdout.contains("a[8] = [0, 1, 4, 9, 16, 25, 36, 49]"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cycles on a 16384-processor CM"), "{stderr}");
+}
+
+#[test]
+fn define_overrides_from_the_command_line() {
+    let path = write_temp("uc_cli_define.uc", PROGRAM);
+    let out = uc()
+        .args(["run", path.to_str().unwrap(), "-D", "N=4"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("s = 14"), "{stdout}");
+}
+
+#[test]
+fn check_reports_ok_and_errors() {
+    let good = write_temp("uc_cli_good.uc", PROGRAM);
+    let out = uc().args(["check", good.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+
+    let bad = write_temp("uc_cli_bad.uc", "main() { goto x; }");
+    let out = uc().args(["check", bad.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("goto"));
+}
+
+#[test]
+fn emit_cstar_prints_translation() {
+    let path = write_temp("uc_cli_emit.uc", PROGRAM);
+    let out = uc().args(["emit-cstar", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("domain SHAPE0"), "{stdout}");
+}
+
+#[test]
+fn runtime_errors_are_reported() {
+    let src = r#"
+        #define N 4
+        index_set I:i = {0..N-1};
+        int a[N];
+        main() { par (I) a[i + 1] = 0; }
+    "#;
+    let path = write_temp("uc_cli_rterr.uc", src);
+    let out = uc().args(["run", path.to_str().unwrap()]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bounds"));
+}
+
+#[test]
+fn usage_errors() {
+    let out = uc().output().unwrap();
+    assert!(!out.status.success());
+    let out = uc().args(["frobnicate", "x.uc"]).output().unwrap();
+    assert!(!out.status.success());
+}

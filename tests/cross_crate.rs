@@ -1,0 +1,194 @@
+//! Cross-crate integration: the UC executor, the C* baseline DSL and the
+//! sequential baselines must agree on every shared workload — the
+//! precondition for the paper's figures to be meaningful comparisons.
+
+use uc::cstar::programs;
+use uc::lang::Program;
+use uc::seqc::{grid, oracle, SeqMachine};
+
+const PHYS: usize = 16 * 1024;
+
+fn run_uc(src: &str, defines: &[(&str, i64)]) -> Program {
+    let mut p = Program::compile_with_defines(src, Default::default(), defines)
+        .unwrap_or_else(|d| panic!("compile failed:\n{d}"));
+    p.run().unwrap_or_else(|e| panic!("runtime error: {e}"));
+    p
+}
+
+#[test]
+fn apsp_uc_equals_cstar_equals_oracle() {
+    for n in [4usize, 8, 16] {
+        let graph = oracle::bench_graph(n);
+        let oracle_d = oracle::floyd_warshall(graph.clone(), n);
+
+        let (cstar2, _) = programs::apsp_n2(&graph, n, PHYS);
+        assert_eq!(cstar2, oracle_d, "C* N2, n={n}");
+        let (cstar3, _) = programs::apsp_n3(&graph, n, PHYS);
+        assert_eq!(cstar3, oracle_d, "C* N3, n={n}");
+
+        let src = format!(
+            r#"
+            #define N {n}
+            index_set I:i = {{0..N-1}}, J:j = I, K:k = I;
+            int d[N][N];
+            main() {{
+                par (I, J)
+                    st (i == j) d[i][j] = 0;
+                    others d[i][j] = (i * 7 + j * 13) % N + 1;
+                seq (K)
+                    par (I, J)
+                        st (d[i][k] + d[k][j] < d[i][j])
+                            d[i][j] = d[i][k] + d[k][j];
+            }}
+            "#
+        );
+        let mut p = run_uc(&src, &[]);
+        assert_eq!(p.read_int_array("d").unwrap(), oracle_d, "UC, n={n}");
+    }
+}
+
+#[test]
+fn grid_uc_equals_cstar_equals_seq_equals_bfs() {
+    for n in [8usize, 16] {
+        let walls = oracle::figure11_walls(n);
+        let bfs = oracle::grid_bfs(n, n, &walls);
+
+        let (cstar_d, _, _) = programs::grid_goal(n, n, &walls, 1 << 30, PHYS);
+        let mut m = SeqMachine::new();
+        let seq_run = grid::grid_goal(&mut m, n, n, &walls, 1 << 30);
+
+        let src = r#"
+            #define N 8
+            #define DMAX 1073741824
+            #define WALLV 2147483648
+            index_set I:i = {0..N-1}, J:j = I;
+            int a[N][N];
+            main() {
+                par (I, J)
+                    st (i + j == N - 1 && ABS(i - N/2) <= N/4) a[i][j] = WALLV;
+                    others a[i][j] = DMAX;
+                par (I, J) st (i == 0 && j == 0) a[i][j] = 0;
+                *par (I, J)
+                    st (a[i][j] != WALLV && (i != 0 || j != 0)
+                        && min(min(a[i-1][j], a[i+1][j]), min(a[i][j-1], a[i][j+1])) + 1 < a[i][j])
+                    a[i][j] = min(min(a[i-1][j], a[i+1][j]), min(a[i][j-1], a[i][j+1])) + 1;
+            }
+        "#;
+        let mut p = run_uc(src, &[("N", n as i64)]);
+        let uc_d = p.read_int_array("a").unwrap();
+
+        for cell in 0..n * n {
+            if walls[cell] {
+                continue;
+            }
+            if let Some(d) = bfs[cell] {
+                assert_eq!(uc_d[cell], d as i64, "UC n={n} cell {cell}");
+                assert_eq!(cstar_d[cell], d as i64, "C* n={n} cell {cell}");
+                assert_eq!(seq_run.dist[cell], d as i64, "seq n={n} cell {cell}");
+            }
+        }
+    }
+}
+
+#[test]
+fn histogram_procopt_both_match_counting() {
+    let src = r#"
+        #define N 200
+        index_set I:i = {0..N-1}, J:j = {0..9};
+        int samples[N];
+        int count[10];
+        main() {
+            par (I) samples[i] = (i * 3 + 1) % 10;
+            par (J) count[j] = $+(I st (samples[i] == j) 1);
+        }
+    "#;
+    let mut expect = vec![0i64; 10];
+    for i in 0..200i64 {
+        expect[((i * 3 + 1) % 10) as usize] += 1;
+    }
+    for procopt in [true, false] {
+        let cfg = uc::lang::ExecConfig { procopt, ..Default::default() };
+        let mut p = Program::compile_with(src, cfg).unwrap();
+        p.run().unwrap();
+        assert_eq!(p.read_int_array("count").unwrap(), expect, "procopt={procopt}");
+    }
+}
+
+#[test]
+fn access_optimization_is_semantics_preserving() {
+    // The same program under all four on/off combinations of the §4
+    // optimizations must produce identical results (only cycles differ).
+    let src = r#"
+        #define N 32
+        index_set I:i = {0..N-1}, J:j = I;
+        int a[N], b[N], c[N][N], s;
+        main() {
+            par (I) { a[i] = (i * 5) % 17; b[i] = i; }
+            par (I) st (i > 0 && i < N-1) b[i] = a[i-1] + a[i+1];
+            par (I, J) c[i][j] = a[i] * b[j];
+            s = $+(I, J st (c[i][j] % 3 == 0) c[i][j]);
+        }
+    "#;
+    let mut results = Vec::new();
+    for optimize_access in [true, false] {
+        for constfold in [true, false] {
+            let cfg = uc::lang::ExecConfig {
+                optimize_access,
+                constfold,
+                ..Default::default()
+            };
+            let mut p = Program::compile_with(src, cfg).unwrap();
+            p.run().unwrap();
+            results.push((
+                p.read_int_array("b").unwrap(),
+                p.read_int_array("c").unwrap(),
+                p.read_int("s").unwrap(),
+            ));
+        }
+    }
+    for r in &results[1..] {
+        assert_eq!(*r, results[0]);
+    }
+}
+
+#[test]
+fn cm_counters_reflect_communication_classes() {
+    // A NEWS-pattern program must not touch the router when optimization
+    // is on; the same program with optimization off must.
+    let src = r#"
+        #define N 64
+        index_set I:i = {0..N-1};
+        int a[N], b[N];
+        main() {
+            par (I) { a[i] = i; b[i] = 0; }
+            par (I) st (i < N-1) b[i] = a[i+1];
+        }
+    "#;
+    let mut p = Program::compile(src).unwrap();
+    p.run().unwrap();
+    assert!(p.machine().counters().news > 0, "shifted access should use NEWS");
+
+    let cfg = uc::lang::ExecConfig { optimize_access: false, ..Default::default() };
+    let mut p2 = Program::compile_with(src, cfg).unwrap();
+    p2.run().unwrap();
+    assert!(p2.machine().counters().router > 0, "unoptimized access should route");
+    assert_eq!(
+        p.read_int_array("b").unwrap(),
+        p2.read_int_array("b").unwrap()
+    );
+}
+
+#[test]
+fn write_then_run_external_inputs() {
+    // The host API can inject inputs before running (used by benches).
+    let src = r#"
+        #define N 8
+        index_set I:i = {0..N-1};
+        int a[N], s;
+        main() { s = $+(I; a[i]); }
+    "#;
+    let mut p = Program::compile(src).unwrap();
+    p.write_int_array("a", &[5, 0, 0, 0, 0, 0, 0, 37]).unwrap();
+    p.run().unwrap();
+    assert_eq!(p.read_int("s"), Some(42));
+}

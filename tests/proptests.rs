@@ -1,0 +1,250 @@
+//! Property-based tests over whole UC programs: for arbitrary inputs,
+//! parallel programs must agree with their sequential semantics.
+
+use proptest::prelude::*;
+use uc::lang::Program;
+use uc::seqc::oracle;
+
+fn compile(src: &str, defines: &[(&str, i64)]) -> Program {
+    Program::compile_with_defines(src, Default::default(), defines)
+        .unwrap_or_else(|d| panic!("compile failed:\n{d}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Σ, min, max and guarded reductions equal sequential folds.
+    #[test]
+    fn reductions_match_folds(data in prop::collection::vec(-1000i64..1000, 1..40)) {
+        let n = data.len();
+        let src = r#"
+            #define N 8
+            index_set I:i = {0..N-1};
+            int a[N], s, mn, mx, pos;
+            main() {
+                s = $+(I; a[i]);
+                mn = $<(I; a[i]);
+                mx = $>(I; a[i]);
+                pos = $+(I st (a[i] > 0) a[i]);
+            }
+        "#;
+        let mut p = compile(src, &[("N", n as i64)]);
+        p.write_int_array("a", &data).unwrap();
+        p.run().unwrap();
+        prop_assert_eq!(p.read_int("s").unwrap(), data.iter().sum::<i64>());
+        prop_assert_eq!(p.read_int("mn").unwrap(), *data.iter().min().unwrap());
+        prop_assert_eq!(p.read_int("mx").unwrap(), *data.iter().max().unwrap());
+        prop_assert_eq!(
+            p.read_int("pos").unwrap(),
+            data.iter().filter(|&&x| x > 0).sum::<i64>()
+        );
+    }
+
+    /// The logical reductions ($&&, $||, $^) are C-truth folds.
+    #[test]
+    fn logical_reductions(data in prop::collection::vec(0i64..3, 1..30)) {
+        let n = data.len();
+        let src = r#"
+            #define N 8
+            index_set I:i = {0..N-1};
+            int a[N], andv, orv, xorv;
+            main() {
+                andv = $&&(I; a[i]);
+                orv = $||(I; a[i]);
+                xorv = $^(I; a[i]);
+            }
+        "#;
+        let mut p = compile(src, &[("N", n as i64)]);
+        p.write_int_array("a", &data).unwrap();
+        p.run().unwrap();
+        prop_assert_eq!(p.read_int("andv").unwrap(), data.iter().all(|&x| x != 0) as i64);
+        prop_assert_eq!(p.read_int("orv").unwrap(), data.iter().any(|&x| x != 0) as i64);
+        let parity = data.iter().filter(|&&x| x != 0).count() % 2;
+        prop_assert_eq!(p.read_int("xorv").unwrap(), parity as i64);
+    }
+
+    /// Ranksort sorts any set of distinct keys.
+    #[test]
+    fn ranksort_sorts(perm in prop::collection::vec(0usize..64, 2..32)) {
+        // Deduplicate to distinct keys (ranksort's precondition, §3.4).
+        let mut keys: Vec<i64> = perm.iter().map(|&x| x as i64).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut rng_order = keys.clone();
+        // A deterministic shuffle.
+        let n = rng_order.len();
+        for k in 1..n {
+            rng_order.swap(k, (k * 7 + 3) % (k + 1));
+        }
+        let src = r#"
+            #define N 8
+            index_set I:i = {0..N-1}, J:j = I;
+            int a[N], sorted[N];
+            main() {
+                par (I) {
+                    int rank;
+                    rank = $+(J st (a[j] < a[i]) 1);
+                    sorted[rank] = a[i];
+                }
+            }
+        "#;
+        let mut p = compile(src, &[("N", n as i64)]);
+        p.write_int_array("a", &rng_order).unwrap();
+        p.run().unwrap();
+        prop_assert_eq!(p.read_int_array("sorted").unwrap(), keys);
+    }
+
+    /// Odd–even transposition sorts arbitrary data (duplicates allowed).
+    #[test]
+    fn odd_even_sorts(mut data in prop::collection::vec(-50i64..50, 2..24)) {
+        let n = data.len();
+        let src = r#"
+            #define N 8
+            index_set I:i = {0..N-1};
+            int x[N];
+            main() {
+                *oneof (I)
+                    st (i % 2 == 0 && x[i] > x[i+1]) swap(x[i], x[i+1]);
+                    st (i % 2 != 0 && x[i] > x[i+1]) swap(x[i], x[i+1]);
+            }
+        "#;
+        let mut p = compile(src, &[("N", n as i64)]);
+        p.write_int_array("x", &data).unwrap();
+        p.run().unwrap();
+        data.sort_unstable();
+        prop_assert_eq!(p.read_int_array("x").unwrap(), data);
+    }
+
+    /// The Figure 4 APSP program equals Floyd–Warshall on random graphs.
+    #[test]
+    fn apsp_matches_oracle(n in 2usize..10, seed in 0u64..500) {
+        let mut graph = vec![0i64; n * n];
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    graph[i * n + j] = ((s >> 33) % (2 * n as u64) + 1) as i64;
+                }
+            }
+        }
+        let src = r#"
+            #define N 4
+            index_set I:i = {0..N-1}, J:j = I, K:k = I;
+            int d[N][N];
+            main() {
+                seq (K)
+                    par (I, J)
+                        st (d[i][k] + d[k][j] < d[i][j])
+                            d[i][j] = d[i][k] + d[k][j];
+            }
+        "#;
+        let mut p = compile(src, &[("N", n as i64)]);
+        p.write_int_array("d", &graph).unwrap();
+        p.run().unwrap();
+        prop_assert_eq!(
+            p.read_int_array("d").unwrap(),
+            oracle::floyd_warshall(graph, n)
+        );
+    }
+
+    /// Permute mappings never change results, only layout: the shifted
+    /// kernel agrees for any shift in a small window.
+    #[test]
+    fn permute_mapping_transparent(shift in 1i64..4, n in 8usize..32) {
+        let plain = format!(
+            r#"
+            #define N {n}
+            index_set I:i = {{0..N-1}};
+            int a[N], b[N];
+            main() {{
+                par (I) {{ a[i] = i * 3; b[i] = 100 - i; }}
+                par (I) st (i < N - {shift}) a[i] = a[i] + b[i + {shift}];
+            }}
+            "#
+        );
+        let mapped = format!(
+            r#"
+            #define N {n}
+            index_set I:i = {{0..N-1}};
+            int a[N], b[N];
+            map (I) {{ permute (I) b[i + {shift}] :- a[i]; }}
+            main() {{
+                par (I) {{ a[i] = i * 3; b[i] = 100 - i; }}
+                par (I) st (i < N - {shift}) a[i] = a[i] + b[i + {shift}];
+            }}
+            "#
+        );
+        let mut p1 = compile(&plain, &[]);
+        p1.run().unwrap();
+        let mut p2 = compile(&mapped, &[]);
+        p2.run().unwrap();
+        prop_assert_eq!(
+            p1.read_int_array("a").unwrap(),
+            p2.read_int_array("a").unwrap()
+        );
+        prop_assert_eq!(
+            p1.read_int_array("b").unwrap(),
+            p2.read_int_array("b").unwrap()
+        );
+    }
+
+    /// The prefix-sums program (Figure 2) equals the scan oracle for any
+    /// power-of-two-or-not size.
+    #[test]
+    fn prefix_sums_any_size(n in 2usize..48) {
+        let src = r#"
+            #define N 8
+            index_set I:i = {0..N-1};
+            int a[N], cnt[N];
+            main() {
+                par (I) { a[i] = i * i - 3; cnt[i] = 0; }
+                *par (I) st (i >= power2(cnt[i])) {
+                    a[i] = a[i] + a[i - power2(cnt[i])];
+                    cnt[i] = cnt[i] + 1;
+                }
+            }
+        "#;
+        let mut p = compile(src, &[("N", n as i64)]);
+        p.run().unwrap();
+        let vals: Vec<i64> = (0..n as i64).map(|i| i * i - 3).collect();
+        let expect: Vec<i64> = vals
+            .iter()
+            .scan(0i64, |acc, &v| {
+                *acc += v;
+                Some(*acc)
+            })
+            .collect();
+        prop_assert_eq!(p.read_int_array("a").unwrap(), expect);
+    }
+
+    /// The wavefront solve equals the sequential recurrence at any size.
+    #[test]
+    fn wavefront_any_size(n in 2usize..12) {
+        let src = r#"
+            #define N 4
+            index_set I:i = {0..N-1}, J:j = I;
+            int a[N][N];
+            main() {
+                solve (I, J)
+                    a[i][j] = (i == 0 || j == 0) ? 1
+                            : a[i-1][j] + a[i-1][j-1] + a[i][j-1];
+            }
+        "#;
+        let mut p = compile(src, &[("N", n as i64)]);
+        p.run().unwrap();
+        let mut expect = vec![0i64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                expect[i * n + j] = if i == 0 || j == 0 {
+                    1
+                } else {
+                    expect[(i - 1) * n + j]
+                        + expect[(i - 1) * n + j - 1]
+                        + expect[i * n + j - 1]
+                };
+            }
+        }
+        prop_assert_eq!(p.read_int_array("a").unwrap(), expect);
+    }
+}
