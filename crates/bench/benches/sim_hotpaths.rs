@@ -1,0 +1,60 @@
+//! Criterion bench for the simulator's hot paths: router sends/gets and
+//! scans are where the CM simulator spends its time for any non-trivial
+//! program (see `uc_cm::router` and `uc_cm::scan`). These benches track
+//! host wall-clock of those primitives in isolation so optimizations and
+//! regressions show up without the compiler pipeline in the way.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uc_cm::{BinOp, Combine, Machine, ReduceOp};
+
+fn router_roundtrip(n: usize) -> i64 {
+    let mut m = Machine::with_defaults();
+    let vp = m.new_vp_set("v", &[n]).unwrap();
+    let src = m.alloc_int(vp, "src").unwrap();
+    let addr = m.alloc_int(vp, "addr").unwrap();
+    let dst = m.alloc_int(vp, "dst").unwrap();
+    m.iota(src).unwrap();
+    // Reverse permutation: addr[i] = n - 1 - i.
+    m.binop_imm_l(BinOp::Sub, addr, ((n - 1) as i64).into(), src)
+        .unwrap();
+    m.send(dst, addr, src, Combine::Overwrite).unwrap();
+    m.get(src, addr, dst).unwrap();
+    m.reduce(src, ReduceOp::Add).unwrap().as_int()
+}
+
+fn scan_chain(n: usize) -> i64 {
+    let mut m = Machine::with_defaults();
+    let vp = m.new_vp_set("v", &[n]).unwrap();
+    let a = m.alloc_int(vp, "a").unwrap();
+    let b = m.alloc_int(vp, "b").unwrap();
+    m.iota(a).unwrap();
+    m.scan(b, a, ReduceOp::Add, false, None).unwrap();
+    m.scan(a, b, ReduceOp::Max, true, None).unwrap();
+    m.reduce(a, ReduceOp::Add).unwrap().as_int()
+}
+
+fn bench_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("router_hotpath");
+    group.sample_size(10);
+    for n in [1usize << 10, 1 << 14, 1 << 16] {
+        group.bench_with_input(BenchmarkId::new("send_get", n), &n, |b, &n| {
+            b.iter(|| black_box(router_roundtrip(n)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_hotpath");
+    group.sample_size(10);
+    for n in [1usize << 10, 1 << 14, 1 << 16] {
+        group.bench_with_input(BenchmarkId::new("scan_reduce", n), &n, |b, &n| {
+            b.iter(|| black_box(scan_chain(n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_router, bench_scan);
+criterion_main!(benches);

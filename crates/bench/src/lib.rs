@@ -16,19 +16,20 @@
 //! * the sequential baselines of Figure 8 charge abstract ops in the same
 //!   cycle unit (see `uc-seqc`).
 
-use serde::{Deserialize, Serialize};
 use uc_core::{ExecConfig, Program};
 use uc_seqc::{grid, oracle, SeqMachine};
 
+pub mod json;
+
 /// One labelled series of (size, cycles) points.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     pub label: String,
     pub points: Vec<(usize, u64)>,
 }
 
 /// One reproduced figure.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure {
     pub id: String,
     pub title: String,
@@ -336,7 +337,12 @@ pub fn render(fig: &Figure) -> String {
 
 /// Serialise a figure to pretty JSON.
 pub fn to_json(fig: &Figure) -> String {
-    serde_json::to_string_pretty(fig).expect("figure serialises")
+    json::to_string_pretty(fig)
+}
+
+/// Parse a figure back from the JSON that [`to_json`] emits.
+pub fn from_json(s: &str) -> Result<Figure, String> {
+    json::from_str(s)
 }
 
 #[cfg(test)]
@@ -409,7 +415,7 @@ mod tests {
         assert!(text.contains("T (t)"));
         assert!(text.contains("10"));
         let json = to_json(&fig);
-        let back: Figure = serde_json::from_str(&json).unwrap();
+        let back: Figure = from_json(&json).unwrap();
         assert_eq!(back, fig);
     }
 }

@@ -25,7 +25,7 @@ impl Geometry {
     /// Create a geometry. Fails with [`CmError::BadGeometry`] on an empty
     /// dimension list or any zero extent.
     pub fn new(dims: &[usize]) -> Result<Self> {
-        if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+        if dims.is_empty() || dims.contains(&0) {
             return Err(CmError::BadGeometry);
         }
         let mut strides = vec![1usize; dims.len()];

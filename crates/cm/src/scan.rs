@@ -214,8 +214,8 @@ fn reduce_float(v: &[f64], mask: &[bool], op: ReduceOp) -> Result<Scalar> {
 fn reduce_bool(v: &[bool], mask: &[bool], op: ReduceOp) -> Result<Scalar> {
     let active = v.iter().zip(mask).filter(|(_, &m)| m).map(|(&x, _)| x);
     Ok(match op {
-        ReduceOp::And => Scalar::Bool(active.fold(true, |a, b| a && b)),
-        ReduceOp::Or => Scalar::Bool(active.fold(false, |a, b| a || b)),
+        ReduceOp::And => Scalar::Bool(active.into_iter().all(|b| b)),
+        ReduceOp::Or => Scalar::Bool(active.into_iter().any(|b| b)),
         ReduceOp::Xor => Scalar::Bool(active.fold(false, |a, b| a ^ b)),
         ReduceOp::Arb => Scalar::Bool(active.into_iter().next().unwrap_or(false)),
         _ => return Err(CmError::Unsupported("arithmetic reduction on bool field")),
@@ -272,7 +272,7 @@ mod tests {
         m.binop_imm(BinOp::Mod, t, a, Scalar::Int(2)).unwrap();
         m.binop_imm(BinOp::Eq, even, t, Scalar::Int(0)).unwrap();
         m.push_context(even).unwrap();
-        assert_eq!(m.reduce(a, ReduceOp::Add).unwrap(), Scalar::Int(0 + 2 + 4));
+        assert_eq!(m.reduce(a, ReduceOp::Add).unwrap(), Scalar::Int(2 + 4));
         m.pop_context(vp).unwrap();
     }
 

@@ -13,8 +13,8 @@ proptest! {
         for addr in 0..g.size() {
             let c = g.coordinate(addr).unwrap();
             prop_assert_eq!(g.address(&c), Some(addr));
-            for axis in 0..g.rank() {
-                prop_assert_eq!(g.axis_coordinate(addr, axis).unwrap(), c[axis]);
+            for (axis, &coord) in c.iter().enumerate() {
+                prop_assert_eq!(g.axis_coordinate(addr, axis).unwrap(), coord);
             }
         }
     }

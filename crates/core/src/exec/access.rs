@@ -444,7 +444,7 @@ impl Program {
                     if space_dims.get(axis) == Some(&(n as usize)))
                 && !matches!(st.mapping, ArrayMapping::Fold { axis } if axis == d);
             let pv = self.eval(sub)?;
-            let pv = self.to_field(pv, ElemType::Int)?;
+            let pv = self.coerce_field(pv, ElemType::Int)?;
             let PV::Field { id: vfield, owned } = pv else { unreachable!() };
             // Work on a copy so we never mutate a non-owned binding field.
             let v = self.machine.alloc_int(vp, "~sub")?;
@@ -581,7 +581,7 @@ impl Program {
         check_conflicts: bool,
         base: &str,
     ) -> RResult<()> {
-        let value = self.to_field(value, st.ty)?;
+        let value = self.coerce_field(value, st.ty)?;
         let PV::Field { id: vfield, .. } = value else { unreachable!() };
 
         // Fast path: identity store onto a conforming default-mapped array.
@@ -599,7 +599,7 @@ impl Program {
         }
 
         // General scatter.
-        let (addr, valid) = self.storage_address(&st, subs)?;
+        let (addr, valid) = self.storage_address(st, subs)?;
         if let Some(valid) = valid {
             // An enabled element writing out of range is an error.
             let vp = self.ctx.last().unwrap().vp;
@@ -697,7 +697,7 @@ impl Program {
                             )));
                         }
                         let ty = self.machine.elem_type(field)?;
-                        let v = self.to_field(value, ty)?;
+                        let v = self.coerce_field(value, ty)?;
                         let PV::Field { id, .. } = v else { unreachable!() };
                         self.machine.copy(field, id)?;
                         self.release(v);

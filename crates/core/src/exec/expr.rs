@@ -55,9 +55,9 @@ impl Program {
                 let t = self.eval(then_e)?;
                 let f = self.eval(else_e)?;
                 let ty = self.common_type(&t, &f)?;
-                let t = self.to_field(t, ty)?;
-                let f = self.to_field(f, ty)?;
-                let c = self.to_field(c, ElemType::Bool)?;
+                let t = self.coerce_field(t, ty)?;
+                let f = self.coerce_field(f, ty)?;
+                let c = self.coerce_field(c, ElemType::Bool)?;
                 let (PV::Field { id: cid, .. }, PV::Field { id: tid, .. }, PV::Field { id: fid, .. }) =
                     (c, t, f)
                 else {
@@ -158,7 +158,7 @@ impl Program {
                 if self.machine.elem_type(id)? == ElemType::Bool {
                     Ok(pv)
                 } else {
-                    self.to_field(pv, ElemType::Bool)
+                    self.coerce_field(pv, ElemType::Bool)
                 }
             }
         }
@@ -185,7 +185,7 @@ impl Program {
                 match op {
                     UnaryOp::Neg => {
                         let v = if ty == ElemType::Bool {
-                            self.to_field(v, ElemType::Int)?
+                            self.coerce_field(v, ElemType::Int)?
                         } else {
                             v
                         };
@@ -205,7 +205,7 @@ impl Program {
                         Ok(PV::owned(dst))
                     }
                     UnaryOp::BitNot => {
-                        let v = self.to_field(v, ElemType::Int)?;
+                        let v = self.coerce_field(v, ElemType::Int)?;
                         let PV::Field { id, .. } = v else { unreachable!() };
                         let dst = self.machine.alloc_int(vp, "~bnot")?;
                         self.machine.unop(UnOp::BitNot, dst, id)?;
@@ -284,7 +284,7 @@ impl Program {
     fn coerce_operand(&mut self, pv: PV, ty: ElemType) -> RResult<PV> {
         match pv {
             PV::Scalar(s) => Ok(PV::Scalar(super::space::coerce_scalar(s, ty))),
-            PV::Field { .. } => self.to_field(pv, ty),
+            PV::Field { .. } => self.coerce_field(pv, ty),
         }
     }
 
@@ -297,7 +297,7 @@ impl Program {
                 match v {
                     PV::Scalar(s) => Ok(PV::Scalar(Scalar::Int(stdlib::power2(s.as_int())))),
                     PV::Field { .. } => {
-                        let v = self.to_field(v, ElemType::Int)?;
+                        let v = self.coerce_field(v, ElemType::Int)?;
                         let PV::Field { id, .. } = v else { unreachable!() };
                         let vp = self.ctx.last().unwrap().vp;
                         let dst = self.machine.alloc_int(vp, "~pow2")?;
@@ -329,7 +329,7 @@ impl Program {
                     PV::Field { .. } => {
                         let ty = self.pv_type(&v)?;
                         let ty = if ty == ElemType::Bool { ElemType::Int } else { ty };
-                        let v = self.to_field(v, ty)?;
+                        let v = self.coerce_field(v, ty)?;
                         let PV::Field { id, .. } = v else { unreachable!() };
                         let vp = self.ctx.last().unwrap().vp;
                         let dst = self.machine.alloc(vp, "~abs", ty)?;
@@ -358,8 +358,8 @@ impl Program {
                     }
                     _ => {
                         let ty = self.common_type(&l, &r)?;
-                        let l = self.to_field(l, ty)?;
-                        let r = self.to_field(r, ty)?;
+                        let l = self.coerce_field(l, ty)?;
+                        let r = self.coerce_field(r, ty)?;
                         let (PV::Field { id: a, .. }, PV::Field { id: b, .. }) = (&l, &r)
                         else {
                             unreachable!()

@@ -46,7 +46,7 @@ impl Program {
                 Some(p) => {
                     let m = self.eval(p)?;
                     let m = self.truthify(m)?;
-                    let m = self.to_field(m, ElemType::Bool)?;
+                    let m = self.coerce_field(m, ElemType::Bool)?;
                     let PV::Field { id, .. } = m else { unreachable!() };
                     // Intentionally leak ownership into `masks`; freed below.
                     masks.push(Some(id));
@@ -110,13 +110,13 @@ impl Program {
         let logical = matches!(op, RedOpToken::And | RedOpToken::Or | RedOpToken::Xor);
         let v = if logical {
             let b = self.truthify(v)?;
-            self.to_field(b, ElemType::Int)?
+            self.coerce_field(b, ElemType::Int)?
         } else {
             let ty = match self.pv_type(&v)? {
                 ElemType::Float => ElemType::Float,
                 _ => ElemType::Int,
             };
-            self.to_field(v, ty)?
+            self.coerce_field(v, ty)?
         };
         let PV::Field { id, .. } = v else { unreachable!() };
         let ty = self.machine.elem_type(id)?;
@@ -159,8 +159,8 @@ impl Program {
                 // Partials live on the *enclosing* space; combine there.
                 let cur = self.ctx.pop().expect("inside reduction space");
                 let result = (|| -> RResult<PV> {
-                    let a = self.to_field(a, ty)?;
-                    let b = self.to_field(b, ty)?;
+                    let a = self.coerce_field(a, ty)?;
+                    let b = self.coerce_field(b, ty)?;
                     let (PV::Field { id: ai, .. }, PV::Field { id: bi, .. }) = (&a, &b) else {
                         unreachable!()
                     };
@@ -256,10 +256,10 @@ impl Program {
             let level = self.push_space(&r.idxs)?;
             let inner = (|| -> RResult<PV> {
                 let key = self.eval(key_expr)?;
-                let key = self.to_field(key, ElemType::Int)?;
+                let key = self.coerce_field(key, ElemType::Int)?;
                 let PV::Field { id: keyf, .. } = key else { unreachable!() };
                 let val = self.eval(operand)?;
-                let val = self.to_field(val, ElemType::Int)?;
+                let val = self.coerce_field(val, ElemType::Int)?;
                 let PV::Field { id: valf, .. } = val else { unreachable!() };
                 let vp = self.ctx.last().unwrap().vp;
                 // Only keys inside the enclosing extent participate.

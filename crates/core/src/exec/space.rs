@@ -203,7 +203,7 @@ impl Program {
     /// Materialise a PV as a field of the requested type on the current
     /// space (broadcasting scalars, converting when needed). Returns an
     /// owned field unless the PV already is a field of the right type.
-    pub(crate) fn to_field(&mut self, pv: PV, ty: ElemType) -> RResult<PV> {
+    pub(crate) fn coerce_field(&mut self, pv: PV, ty: ElemType) -> RResult<PV> {
         let cur_vp = self
             .cur_space()
             .map(|c| c.vp)

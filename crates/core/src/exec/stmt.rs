@@ -244,7 +244,7 @@ impl Program {
                 let field = self.machine.alloc(vp, &v.name, ty)?;
                 if let Some(e) = &v.init {
                     let pv = self.eval(e)?;
-                    let pv = self.to_field(pv, ty)?;
+                    let pv = self.coerce_field(pv, ty)?;
                     let PV::Field { id, .. } = pv else { unreachable!() };
                     self.machine.copy(field, id)?;
                     self.release(pv);
@@ -387,7 +387,7 @@ impl Program {
                     let r = (|| -> RResult<FieldId> {
                         let m = self.eval(p)?;
                         let m = self.truthify(m)?;
-                        let m = self.to_field(m, ElemType::Bool)?;
+                        let m = self.coerce_field(m, ElemType::Bool)?;
                         let PV::Field { id, .. } = m else { unreachable!() };
                         Ok(id)
                     })();
@@ -560,7 +560,7 @@ impl Program {
                         Some(p) => {
                             let m = self.eval(p)?;
                             let m = self.truthify(m)?;
-                            let m = self.to_field(m, ElemType::Bool)?;
+                            let m = self.coerce_field(m, ElemType::Bool)?;
                             let PV::Field { id, .. } = m else { unreachable!() };
                             if self.machine.reduce(id, ReduceOp::Or)?.as_bool() {
                                 enabled.push(k);
@@ -801,9 +801,9 @@ impl Program {
                     _ => {
                         let c = self.eval(cond)?;
                         let c = self.truthify(c)?;
-                        let c = self.to_field(c, ElemType::Bool)?;
-                        let t = self.to_field(tdef, ElemType::Bool)?;
-                        let f = self.to_field(edef, ElemType::Bool)?;
+                        let c = self.coerce_field(c, ElemType::Bool)?;
+                        let t = self.coerce_field(tdef, ElemType::Bool)?;
+                        let f = self.coerce_field(edef, ElemType::Bool)?;
                         let (
                             PV::Field { id: ci, .. },
                             PV::Field { id: ti, .. },

@@ -121,9 +121,16 @@ impl<'a> Parser<'a> {
     fn unit(&mut self, defines: Vec<(String, i64)>) -> Unit {
         let mut items = Vec::new();
         while !self.at(&T::Eof) {
+            let before = self.pos;
             match self.item() {
                 Ok(batch) => items.extend(batch),
                 Err(()) => self.synchronize(),
+            }
+            // `synchronize` stops *before* `}` (it must not eat the brace
+            // when recovering inside a block), so a stray `}` at top level
+            // would otherwise leave the cursor parked and loop forever.
+            if self.pos == before && !self.at(&T::Eof) {
+                self.bump();
             }
         }
         Unit { items, defines }

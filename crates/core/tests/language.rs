@@ -154,7 +154,7 @@ fn multi_arm_reduction_with_others() {
             s = $+(I st (a[i] > 0) a[i] others -a[i]);
         }
     "#);
-    assert_eq!(p.read_int("s"), Some(2 + 1 + 0 + 1 + 2 + 3));
+    assert_eq!(p.read_int("s"), Some((2 + 1) + 1 + 2 + 3));
 }
 
 // ---- seq ------------------------------------------------------------------

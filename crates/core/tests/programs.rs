@@ -408,8 +408,7 @@ fn histogram_processor_optimization() {
 
     // Without procopt the result is identical but the machine does more
     // work on the 10×N space.
-    let mut cfg = ExecConfig::default();
-    cfg.procopt = false;
+    let cfg = ExecConfig { procopt: false, ..Default::default() };
     let mut without = Program::compile_with(src, cfg).unwrap();
     without.run().unwrap();
     assert_eq!(without.read_int_array("count").unwrap(), expect);
@@ -427,8 +426,8 @@ fn index_set_shadowing() {
         }
     "#);
     let a = p.read_int_array("a").unwrap();
-    for i in 0..10 {
-        assert_eq!(a[i], if i % 2 == 0 { 45 } else { 0 });
+    for (i, &v) in a.iter().enumerate() {
+        assert_eq!(v, if i % 2 == 0 { 45 } else { 0 });
     }
 }
 

@@ -1,0 +1,63 @@
+//! Smoke test guarding the crate-root quickstart contract.
+//!
+//! The ranksort example in `crates/core/src/lib.rs` is the first thing a
+//! reader runs; this plain `#[test]` duplicates it so the contract is
+//! enforced even in runs that skip doctests, and strengthens it: the
+//! quickstart only asserts sortedness, here we also check the exact
+//! permutation round-trips the generated keys.
+
+use uc_core::Program;
+
+/// Same source as the `uc-core` crate-root quickstart doctest.
+const QUICKSTART: &str = r#"
+    #define N 16
+    index_set I:i = {0..N-1}, J:j = I;
+    int a[N], rank[N], sorted[N];
+    main() {
+        par (I) a[i] = (7 * i + 3) % N;          /* distinct keys */
+        par (I) {
+            rank[i] = $+(J st (a[j] < a[i]) 1);  /* ranksort (§3.4) */
+            sorted[rank[i]] = a[i];
+        }
+    }
+"#;
+
+#[test]
+fn quickstart_compile_run_roundtrip() {
+    let mut p = Program::compile(QUICKSTART).expect("quickstart must compile");
+    p.run().expect("quickstart must run");
+
+    // The doctest's own assertion.
+    let sorted = p.read_int_array("sorted").unwrap();
+    assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "not sorted: {sorted:?}");
+
+    // Round-trip: `sorted` is exactly the generated keys in order (7 is
+    // coprime to 16, so the keys are a permutation of 0..16).
+    let keys: Vec<i64> = (0..16).map(|i| (7 * i + 3) % 16).collect();
+    let mut expect = keys.clone();
+    expect.sort_unstable();
+    assert_eq!(sorted, expect);
+
+    // And `rank` really is the rank of each key.
+    let rank = p.read_int_array("rank").unwrap();
+    for (i, &r) in rank.iter().enumerate() {
+        let true_rank = keys.iter().filter(|&&k| k < keys[i]).count() as i64;
+        assert_eq!(r, true_rank, "rank of key {} (index {i})", keys[i]);
+    }
+}
+
+#[test]
+fn quickstart_facade_variant() {
+    // The root `uc` facade quickstart (src/lib.rs) uses a squares table;
+    // guard that contract too, through the `uc-core` API it re-exports.
+    let src = r#"
+        index_set I:i = {0..9};
+        int a[10];
+        main() {
+            par (I) a[i] = i * i;
+        }
+    "#;
+    let mut p = Program::compile(src).expect("valid UC program");
+    p.run().expect("runs");
+    assert_eq!(p.read_int_array("a").unwrap()[3], 9);
+}

@@ -56,8 +56,8 @@ fn three_dimensional_arrays() {
         }
     "#);
     let t = p.read_int_array("t").unwrap();
-    assert_eq!(t[1 * 9 + 2 * 3 + 0], 120);
-    assert_eq!(p.read_int("s"), Some(0 + 111 + 222));
+    assert_eq!(t[9 + 2 * 3], 120);
+    assert_eq!(p.read_int("s"), Some(111 + 222));
 }
 
 #[test]
@@ -321,14 +321,14 @@ fn pointer_jumping_list_ranking() {
     let rank = p.read_int_array("rank").unwrap();
     // Walk the list on the host to get true distances.
     let next: Vec<usize> = (0..16).map(|i| if i == 11 { 11 } else { (i + 5) % 16 }).collect();
-    for i in 0..16usize {
+    for (i, &r) in rank.iter().enumerate() {
         let mut d = 0;
         let mut cur = i;
         while next[cur] != cur {
             cur = next[cur];
             d += 1;
         }
-        assert_eq!(rank[i], d as i64, "node {i}");
+        assert_eq!(r, d as i64, "node {i}");
     }
     // Pointer jumping is router-bound.
     assert!(p.machine().counters().router > 10);

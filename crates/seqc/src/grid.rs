@@ -92,7 +92,7 @@ mod tests {
     #[test]
     fn open_grid_is_manhattan() {
         let mut m = SeqMachine::new();
-        let run = grid_goal(&mut m, 6, 6, &vec![false; 36], 1 << 30);
+        let run = grid_goal(&mut m, 6, 6, &[false; 36], 1 << 30);
         for r in 0..6usize {
             for c in 0..6usize {
                 assert_eq!(run.dist[r * 6 + c], (r + c) as i64);
@@ -126,7 +126,7 @@ mod tests {
     #[test]
     fn sweeps_scale_with_diameter() {
         let mut m1 = SeqMachine::new();
-        let r1 = grid_goal(&mut m1, 8, 8, &vec![false; 64], 1 << 30);
+        let r1 = grid_goal(&mut m1, 8, 8, &[false; 64], 1 << 30);
         let mut m2 = SeqMachine::new();
         let r2 = grid_goal(&mut m2, 16, 16, &vec![false; 256], 1 << 30);
         assert!(r2.sweeps > r1.sweeps);

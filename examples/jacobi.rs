@@ -39,9 +39,7 @@ const JACOBI: &str = r#"
 
 fn sequential_reference() -> Vec<f64> {
     let mut u = vec![0.0f64; N * N];
-    for j in 0..N {
-        u[j] = 100.0;
-    }
+    u[..N].fill(100.0);
     let mut next = u.clone();
     for _ in 0..SWEEPS {
         for i in 1..N - 1 {

@@ -1,0 +1,171 @@
+//! Offline shim for [criterion](https://crates.io/crates/criterion).
+//!
+//! Implements just enough of criterion's API for the `uc-bench` bench
+//! targets to compile and produce useful numbers without network access:
+//! benchmark groups, `bench_function` / `bench_with_input`, `Bencher::iter`
+//! and the `criterion_group!` / `criterion_main!` macros. Instead of
+//! criterion's statistical machinery it times `sample_size` runs with
+//! `std::time::Instant` and prints min / mean per benchmark. Swap in the
+//! real criterion by removing the path override in the workspace
+//! `Cargo.toml`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to each `criterion_group!` function.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup { name: name.to_string(), sample_size: self.default_sample_size }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        run_benchmark(&id.to_string(), sample_size, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing sampling settings.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim ignores the time budget
+    /// and always runs exactly `sample_size` samples.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_benchmark(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// `function_name/parameter` identifier for parameterised benchmarks.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+}
+
+/// Timer handle: `b.iter(|| work())`.
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let _ = f();
+        self.elapsed += start.elapsed();
+        self.iterations += 1;
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
+    let mut b = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+    // Warm-up sample, excluded from the measurement.
+    f(&mut b);
+    b = Bencher { elapsed: Duration::ZERO, iterations: 0 };
+    let mut min = Duration::MAX;
+    for _ in 0..sample_size {
+        let before = b.elapsed;
+        f(&mut b);
+        min = min.min(b.elapsed - before);
+    }
+    if b.iterations == 0 {
+        println!("  {label}: no iterations");
+        return;
+    }
+    let mean = b.elapsed / b.iterations as u32;
+    println!("  {label}: mean {mean:?}, min {min:?} ({} samples)", b.iterations);
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(3);
+            g.bench_function("f", |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        // Warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut seen = 0usize;
+        let mut g = c.benchmark_group("t");
+        g.sample_size(1);
+        g.bench_with_input(BenchmarkId::new("f", 7), &7usize, |b, &n| b.iter(|| seen = n));
+        g.finish();
+        assert_eq!(seen, 7);
+    }
+}

@@ -1,0 +1,67 @@
+//! Offline shim for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment has no registry access, so this crate provides an
+//! API-compatible **sequential** subset of rayon: `par_iter`,
+//! `par_iter_mut` and `into_par_iter` simply return the corresponding
+//! standard-library iterators, which already supply `map`, `zip`,
+//! `for_each` and `collect`. Every caller in this workspace (`uc_cm::par`)
+//! is a pure elementwise kernel whose observable results are
+//! thread-count-independent by design, so the sequential fallback is
+//! semantically identical — only slower on large fields.
+//!
+//! Swap in the real rayon by removing the path override in the workspace
+//! `Cargo.toml`; no source changes are needed.
+
+pub mod prelude {
+    /// `slice.par_iter()` — sequential stand-in returning `slice::Iter`.
+    pub trait IntoParallelRefIterator<T> {
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> IntoParallelRefIterator<T> for [T] {
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    /// `slice.par_iter_mut()` — sequential stand-in returning `slice::IterMut`.
+    pub trait IntoParallelRefMutIterator<T> {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T>;
+    }
+
+    impl<T> IntoParallelRefMutIterator<T> for [T] {
+        fn par_iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+            self.iter_mut()
+        }
+    }
+
+    /// `range.into_par_iter()` — sequential stand-in for any `IntoIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<T: IntoIterator> IntoParallelIterator for T {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = [1i64, 2, 3];
+        let out: Vec<i64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_iter_mut_and_into_par_iter() {
+        let mut v = vec![1i64, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+        let idx: Vec<usize> = (0..4usize).into_par_iter().collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+}
