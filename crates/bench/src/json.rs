@@ -61,13 +61,57 @@ pub fn to_string_pretty(fig: &Figure) -> String {
 
 // ---- parsing -------------------------------------------------------------
 
-/// Minimal recursive-descent JSON value, enough to round-trip figures.
+/// Minimal recursive-descent JSON value: figures round-trip through it,
+/// and other workspace tools (e.g. `uc check --format json`) use it to
+/// validate their output against a real parse.
 #[derive(Debug, Clone, PartialEq)]
-enum Value {
+pub enum Value {
     Num(u64),
     Str(String),
     Arr(Vec<Value>),
     Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parse any JSON value (the schema-free counterpart of [`from_str`]).
+pub fn parse_value(s: &str) -> Result<Value, String> {
+    let mut parser = Parser::new(s);
+    let v = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return parser.err("trailing data");
+    }
+    Ok(v)
 }
 
 struct Parser<'a> {
@@ -330,5 +374,16 @@ mod tests {
         assert!(from_str("{").is_err());
         assert!(from_str(r#"{"id": "t"}"#).is_err());
         assert!(from_str(r#"{"id":"t","title":"T","x_label":"n","series":[{}]}"#).is_err());
+    }
+
+    #[test]
+    fn parse_value_and_accessors() {
+        let v = parse_value(r#"[{"code": "UC101", "line": 3}, {"line": 4}]"#).unwrap();
+        let items = v.as_array().unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].get("code").and_then(Value::as_str), Some("UC101"));
+        assert_eq!(items[0].get("line").and_then(Value::as_u64), Some(3));
+        assert_eq!(items[1].get("code"), None);
+        assert!(parse_value("[1, 2] trailing").is_err());
     }
 }

@@ -1,0 +1,289 @@
+//! UC120/UC121 — context-mask analysis.
+//!
+//! UC's constructs narrow the activity context with `st` predicates
+//! (§3.4): a constant-false predicate empties the context, so the guarded
+//! statement can never execute — the same fact the §4 dead-context
+//! elimination uses, reported here instead of silently exploited (UC120,
+//! also covering `if (0)` / `while (0)`). UC121 flags index sets —
+//! virtual-processor sets — that no construct, reduction, alias or map
+//! declaration ever names: they only cost processors (§4 processor
+//! optimization).
+
+use std::collections::HashSet;
+
+use super::{const_false, Finding, Pass};
+use crate::ast::*;
+use crate::sema::Checked;
+use crate::span::Span;
+
+pub(crate) struct ContextPass;
+
+impl Pass for ContextPass {
+    fn name(&self) -> &'static str {
+        "context"
+    }
+
+    fn lints(&self) -> &'static [&'static str] {
+        &["UC120", "UC121"]
+    }
+
+    fn run(&self, checked: &Checked, out: &mut Vec<Finding>) {
+        let mut w = Walker { checked, defs: Vec::new(), used: HashSet::new(), out: Vec::new() };
+        for item in &checked.unit.items {
+            match item {
+                Item::IndexSets(defs) => w.sets(defs),
+                Item::Func(f) => {
+                    for s in &f.body.stmts {
+                        w.stmt(s);
+                    }
+                }
+                Item::Map(ms) => {
+                    w.use_sets(&ms.idxs);
+                    for d in &ms.decls {
+                        w.use_sets(&d.idxs);
+                    }
+                }
+                Item::Var(v) => {
+                    if let Some(init) = &v.init {
+                        w.expr(init);
+                    }
+                }
+            }
+        }
+        for (name, span) in &w.defs {
+            if !w.used.contains(name) {
+                w.out.push(Finding {
+                    code: "UC121",
+                    span: *span,
+                    message: format!(
+                        "index set `{name}` is never used by any construct, reduction, \
+                         alias or map declaration (§4 processor optimization)"
+                    ),
+                });
+            }
+        }
+        out.append(&mut w.out);
+    }
+}
+
+struct Walker<'c> {
+    checked: &'c Checked,
+    /// Every index-set definition seen, with its span.
+    defs: Vec<(String, Span)>,
+    /// Every index-set name mentioned as a use.
+    used: HashSet<String>,
+    out: Vec<Finding>,
+}
+
+impl<'c> Walker<'c> {
+    fn sets(&mut self, defs: &[IndexSetDef]) {
+        for def in defs {
+            self.defs.push((def.name.clone(), def.span));
+            match &def.init {
+                IndexSetInit::Alias(src) => {
+                    self.used.insert(src.clone());
+                }
+                IndexSetInit::Range(lo, hi) => {
+                    self.expr(lo);
+                    self.expr(hi);
+                }
+                IndexSetInit::List(items) => {
+                    for e in items {
+                        self.expr(e);
+                    }
+                }
+            }
+        }
+    }
+
+    fn use_sets(&mut self, idxs: &[String]) {
+        for name in idxs {
+            self.used.insert(name.clone());
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Expr(e) => self.expr(e),
+            Stmt::Decl(v) => {
+                if let Some(init) = &v.init {
+                    self.expr(init);
+                }
+            }
+            Stmt::IndexSets(defs) => self.sets(defs),
+            Stmt::Block(b) => {
+                for s in &b.stmts {
+                    self.stmt(s);
+                }
+            }
+            Stmt::If { cond, then_branch, else_branch, .. } => {
+                self.expr(cond);
+                if const_false(cond, self.checked) {
+                    self.dead(cond.span(), "`if` condition is constant-false");
+                }
+                self.stmt(then_branch);
+                if let Some(e) = else_branch {
+                    self.stmt(e);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                self.expr(cond);
+                if const_false(cond, self.checked) {
+                    self.dead(cond.span(), "`while` condition is constant-false");
+                }
+                self.stmt(body);
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                for e in [init, cond, step].into_iter().flatten() {
+                    self.expr(e);
+                }
+                if let Some(c) = cond {
+                    if const_false(c, self.checked) {
+                        self.dead(c.span(), "`for` condition is constant-false");
+                    }
+                }
+                self.stmt(body);
+            }
+            Stmt::Return(e, _) => {
+                if let Some(e) = e {
+                    self.expr(e);
+                }
+            }
+            Stmt::Uc(uc) => {
+                self.use_sets(&uc.idxs);
+                for arm in &uc.arms {
+                    if let Some(p) = &arm.pred {
+                        self.expr(p);
+                        if const_false(p, self.checked) {
+                            self.dead(
+                                p.span(),
+                                "`st` predicate is constant-false: the context is empty",
+                            );
+                        }
+                    }
+                    self.stmt(&arm.body);
+                }
+                if let Some(o) = &uc.others {
+                    self.stmt(o);
+                }
+            }
+            Stmt::Break(_) | Stmt::Continue(_) | Stmt::Empty => {}
+        }
+    }
+
+    fn dead(&mut self, span: Span, what: &str) {
+        self.out.push(Finding {
+            code: "UC120",
+            span,
+            message: format!("{what}; the guarded statement can never execute (§3.4 context)"),
+        });
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Index { subs, .. } => {
+                for s in subs {
+                    self.expr(s);
+                }
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Expr::Unary { expr, .. } => self.expr(expr),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Expr::Ternary { cond, then_e, else_e, .. } => {
+                self.expr(cond);
+                self.expr(then_e);
+                self.expr(else_e);
+            }
+            Expr::Assign { target, value, .. } => {
+                self.expr(target);
+                self.expr(value);
+            }
+            Expr::Reduce(r) => {
+                self.use_sets(&r.idxs);
+                for (p, o) in &r.arms {
+                    if let Some(p) = p {
+                        self.expr(p);
+                    }
+                    self.expr(o);
+                }
+                if let Some(o) = &r.others {
+                    self.expr(o);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{check_str, codes_of};
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let checked = check_str(src);
+        let mut out = Vec::new();
+        ContextPass.run(&checked, &mut out);
+        out
+    }
+
+    #[test]
+    fn constant_false_predicate_is_flagged() {
+        let f = findings(
+            "index_set I:i = {0..7};\nint a[8];\nmain() { par (I) st (0) a[i] = 1; }",
+        );
+        assert_eq!(codes_of(&f), vec!["UC120"]);
+        assert_eq!(f[0].span.line, 3);
+    }
+
+    #[test]
+    fn constant_false_if_and_while_are_flagged() {
+        let f = findings("main() { int x; x = 1; if (0) x = 2; while (1 > 2) x = 3; }");
+        assert_eq!(codes_of(&f), vec!["UC120", "UC120"]);
+    }
+
+    #[test]
+    fn runtime_predicates_are_clean() {
+        let f = findings(
+            "index_set I:i = {0..7};\nint a[8];\n\
+             main() { int x; x = 0; if (x) x = 2; par (I) st (a[i] > 0) a[i] = 1; }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unused_set_is_flagged() {
+        let f = findings(
+            "index_set I:i = {0..7}, J:jj = {0..3};\nint a[8];\nmain() { par (I) a[i] = 1; }",
+        );
+        assert_eq!(codes_of(&f), vec!["UC121"]);
+        assert!(f[0].message.contains("`J`"));
+        assert_eq!(f[0].span.line, 1);
+    }
+
+    #[test]
+    fn reduction_and_alias_uses_count() {
+        let f = findings(
+            "index_set I:i = {0..7}, J:j = I, K:k = {0..3};\nint a[8], s;\n\
+             main() { s = $+(J; a[j]); seq (K) s = s + 1; }",
+        );
+        // I is used as J's alias source; J by the reduction; K by `seq`.
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn map_section_uses_count() {
+        let f = findings(
+            "index_set I:i = {0..7};\nint a[8], b[8];\n\
+             map (I) { permute (I) a[i+1] :- b[i]; }\nmain() { int x; x = 0; }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

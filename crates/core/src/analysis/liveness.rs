@@ -1,0 +1,476 @@
+//! UC130/UC131/UC132 — init/liveness dataflow.
+//!
+//! Classic forward dataflow over each function body (§4's "standard code
+//! optimizations" applied as diagnostics):
+//!
+//! * **UC130** — a local scalar is read while *definitely* uninitialised:
+//!   no path from its declaration assigns it first. Branch merges
+//!   intersect (a variable stays definitely-uninitialised only when every
+//!   branch leaves it so), so maybe-initialised reads are never flagged.
+//! * **UC131** — a store to a local scalar is overwritten before any read
+//!   within the same straight-line run; any control flow conservatively
+//!   clears the tracking.
+//! * **UC132** — a function that `main` never reaches through the call
+//!   graph.
+
+use std::collections::{HashMap, HashSet};
+
+use super::{Finding, Pass};
+use crate::ast::*;
+use crate::sema::Checked;
+use crate::span::Span;
+
+pub(crate) struct LivenessPass;
+
+impl Pass for LivenessPass {
+    fn name(&self) -> &'static str {
+        "liveness"
+    }
+
+    fn lints(&self) -> &'static [&'static str] {
+        &["UC130", "UC131", "UC132"]
+    }
+
+    fn run(&self, checked: &Checked, out: &mut Vec<Finding>) {
+        for f in checked.funcs_in_order() {
+            let mut w = FnWalker {
+                uninit: HashSet::new(),
+                locals: HashSet::new(),
+                reported: HashSet::new(),
+                pending: HashMap::new(),
+                out: Vec::new(),
+            };
+            for s in &f.body.stmts {
+                w.stmt(s);
+            }
+            out.append(&mut w.out);
+        }
+        unused_functions(checked, out);
+    }
+}
+
+/// Call-graph reachability from `main` (UC132).
+fn unused_functions(checked: &Checked, out: &mut Vec<Finding>) {
+    if !checked.funcs.contains_key("main") {
+        return;
+    }
+    let mut reachable = HashSet::new();
+    let mut queue = vec!["main".to_string()];
+    while let Some(name) = queue.pop() {
+        if !reachable.insert(name.clone()) {
+            continue;
+        }
+        if let Some(f) = checked.funcs.get(&name) {
+            let mut callees = HashSet::new();
+            for s in &f.body.stmts {
+                calls_in_stmt(s, &mut callees);
+            }
+            queue.extend(callees);
+        }
+    }
+    for f in checked.funcs_in_order() {
+        if !reachable.contains(&f.name) {
+            out.push(Finding {
+                code: "UC132",
+                span: f.span,
+                message: format!(
+                    "function `{}` is never called from `main` (§4 dead code)",
+                    f.name
+                ),
+            });
+        }
+    }
+}
+
+fn calls_in_stmt(s: &Stmt, out: &mut HashSet<String>) {
+    match s {
+        Stmt::Expr(e) => calls_in_expr(e, out),
+        Stmt::Decl(v) => {
+            if let Some(init) = &v.init {
+                calls_in_expr(init, out);
+            }
+        }
+        Stmt::Block(b) => {
+            for s in &b.stmts {
+                calls_in_stmt(s, out);
+            }
+        }
+        Stmt::If { cond, then_branch, else_branch, .. } => {
+            calls_in_expr(cond, out);
+            calls_in_stmt(then_branch, out);
+            if let Some(e) = else_branch {
+                calls_in_stmt(e, out);
+            }
+        }
+        Stmt::While { cond, body, .. } => {
+            calls_in_expr(cond, out);
+            calls_in_stmt(body, out);
+        }
+        Stmt::For { init, cond, step, body, .. } => {
+            for e in [init, cond, step].into_iter().flatten() {
+                calls_in_expr(e, out);
+            }
+            calls_in_stmt(body, out);
+        }
+        Stmt::Return(Some(e), _) => calls_in_expr(e, out),
+        Stmt::Uc(uc) => {
+            for arm in &uc.arms {
+                if let Some(p) = &arm.pred {
+                    calls_in_expr(p, out);
+                }
+                calls_in_stmt(&arm.body, out);
+            }
+            if let Some(o) = &uc.others {
+                calls_in_stmt(o, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn calls_in_expr(e: &Expr, out: &mut HashSet<String>) {
+    match e {
+        Expr::Call { name, args, .. } => {
+            out.insert(name.clone());
+            for a in args {
+                calls_in_expr(a, out);
+            }
+        }
+        Expr::Index { subs, .. } => {
+            for s in subs {
+                calls_in_expr(s, out);
+            }
+        }
+        Expr::Unary { expr, .. } => calls_in_expr(expr, out),
+        Expr::Binary { lhs, rhs, .. } => {
+            calls_in_expr(lhs, out);
+            calls_in_expr(rhs, out);
+        }
+        Expr::Ternary { cond, then_e, else_e, .. } => {
+            calls_in_expr(cond, out);
+            calls_in_expr(then_e, out);
+            calls_in_expr(else_e, out);
+        }
+        Expr::Assign { target, value, .. } => {
+            calls_in_expr(target, out);
+            calls_in_expr(value, out);
+        }
+        Expr::Reduce(r) => {
+            for (p, o) in &r.arms {
+                if let Some(p) = p {
+                    calls_in_expr(p, out);
+                }
+                calls_in_expr(o, out);
+            }
+            if let Some(o) = &r.others {
+                calls_in_expr(o, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+struct FnWalker {
+    /// Local scalars definitely uninitialised at this program point.
+    uninit: HashSet<String>,
+    /// Every local scalar declared so far (reads of anything else are
+    /// globals/params/elements and never flagged).
+    locals: HashSet<String>,
+    /// Variables already reported for UC130 (one report per variable).
+    reported: HashSet<String>,
+    /// Straight-line pending stores: variable → span of the last store
+    /// with no read since (UC131).
+    pending: HashMap<String, Span>,
+    out: Vec<Finding>,
+}
+
+impl FnWalker {
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Expr(e) => self.expr(e),
+            Stmt::Decl(v) => {
+                if !v.dims.is_empty() {
+                    for d in &v.dims {
+                        self.expr(d);
+                    }
+                    return; // arrays: element state is not tracked
+                }
+                match &v.init {
+                    Some(init) => {
+                        self.expr(init);
+                        self.locals.insert(v.name.clone());
+                        self.store(&v.name, v.span);
+                    }
+                    None => {
+                        self.locals.insert(v.name.clone());
+                        self.uninit.insert(v.name.clone());
+                    }
+                }
+            }
+            Stmt::IndexSets(_) => {}
+            Stmt::Block(b) => {
+                for s in &b.stmts {
+                    self.stmt(s);
+                }
+            }
+            Stmt::If { cond, then_branch, else_branch, .. } => {
+                self.expr(cond);
+                self.pending.clear();
+                let before = self.uninit.clone();
+                self.stmt(then_branch);
+                let after_then = std::mem::replace(&mut self.uninit, before);
+                self.pending.clear();
+                match else_branch {
+                    Some(e) => {
+                        self.stmt(e);
+                        // Definitely-uninit iff uninit on both branches.
+                        self.uninit.retain(|v| after_then.contains(v));
+                    }
+                    None => {
+                        // The fall-through path keeps `before`; intersect
+                        // with the then-branch outcome.
+                        self.uninit.retain(|v| after_then.contains(v));
+                    }
+                }
+                self.pending.clear();
+            }
+            Stmt::While { cond, body, .. } => {
+                self.expr(cond);
+                self.pending.clear();
+                let before = self.uninit.clone();
+                self.stmt(body);
+                // Zero iterations keep `before`; >0 keep the body outcome.
+                let after_body = std::mem::replace(&mut self.uninit, before);
+                self.uninit.retain(|v| after_body.contains(v));
+                self.pending.clear();
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                if let Some(e) = init {
+                    self.expr(e);
+                }
+                if let Some(e) = cond {
+                    self.expr(e);
+                }
+                self.pending.clear();
+                let before = self.uninit.clone();
+                self.stmt(body);
+                if let Some(e) = step {
+                    self.expr(e);
+                }
+                let after_body = std::mem::replace(&mut self.uninit, before);
+                self.uninit.retain(|v| after_body.contains(v));
+                self.pending.clear();
+            }
+            Stmt::Return(e, _) => {
+                if let Some(e) = e {
+                    self.expr(e);
+                }
+                self.pending.clear();
+            }
+            Stmt::Uc(uc) => {
+                self.pending.clear();
+                let before = self.uninit.clone();
+                let mut merged: Option<HashSet<String>> = None;
+                for arm in &uc.arms {
+                    self.uninit = before.clone();
+                    self.pending.clear();
+                    if let Some(p) = &arm.pred {
+                        self.expr(p);
+                    }
+                    self.stmt(&arm.body);
+                    let out = std::mem::take(&mut self.uninit);
+                    merged = Some(match merged {
+                        None => out,
+                        Some(m) => m.intersection(&out).cloned().collect(),
+                    });
+                }
+                if let Some(o) = &uc.others {
+                    self.uninit = before.clone();
+                    self.stmt(o);
+                    let out = std::mem::take(&mut self.uninit);
+                    merged = Some(match merged {
+                        None => out,
+                        Some(m) => m.intersection(&out).cloned().collect(),
+                    });
+                }
+                self.uninit = merged.unwrap_or(before);
+                self.pending.clear();
+            }
+            Stmt::Break(_) | Stmt::Continue(_) | Stmt::Empty => {}
+        }
+    }
+
+    /// Record a store to a local scalar, reporting the previous store in
+    /// this straight-line run if it was never read (UC131).
+    fn store(&mut self, name: &str, span: Span) {
+        if !self.locals.contains(name) {
+            return;
+        }
+        self.uninit.remove(name);
+        if let Some(prev) = self.pending.insert(name.to_string(), span) {
+            self.out.push(Finding {
+                code: "UC131",
+                span: prev,
+                message: format!(
+                    "value stored to `{name}` is overwritten before it is ever read \
+                     (§4 dead code)"
+                ),
+            });
+        }
+    }
+
+    /// Record a read of `name` (UC130 when definitely uninitialised).
+    fn read(&mut self, name: &str, span: Span) {
+        self.pending.remove(name);
+        if self.uninit.contains(name) && self.reported.insert(name.to_string()) {
+            self.out.push(Finding {
+                code: "UC130",
+                span,
+                message: format!(
+                    "local `{name}` is read before any assignment initialises it \
+                     (§4 dataflow)"
+                ),
+            });
+        }
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Ident(name, span) => self.read(name, *span),
+            Expr::Index { subs, .. } => {
+                for s in subs {
+                    self.expr(s);
+                }
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Expr::Unary { expr, .. } => self.expr(expr),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Expr::Ternary { cond, then_e, else_e, .. } => {
+                self.expr(cond);
+                self.expr(then_e);
+                self.expr(else_e);
+            }
+            Expr::Assign { target, op, value, span } => {
+                self.expr(value);
+                match target.as_ref() {
+                    Expr::Ident(name, tspan) => {
+                        if op.is_some() {
+                            self.read(name, *tspan);
+                        }
+                        self.store(name, *span);
+                    }
+                    Expr::Index { subs, .. } => {
+                        for s in subs {
+                            self.expr(s);
+                        }
+                    }
+                    other => self.expr(other),
+                }
+            }
+            Expr::Reduce(r) => {
+                for (p, o) in &r.arms {
+                    if let Some(p) = p {
+                        self.expr(p);
+                    }
+                    self.expr(o);
+                }
+                if let Some(o) = &r.others {
+                    self.expr(o);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{check_str, codes_of};
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let checked = check_str(src);
+        let mut out = Vec::new();
+        LivenessPass.run(&checked, &mut out);
+        out
+    }
+
+    #[test]
+    fn use_before_init_detected() {
+        let f = findings("main() { int x, y; y = x + 1; }");
+        assert_eq!(codes_of(&f), vec!["UC130"]);
+        assert!(f[0].message.contains("`x`"));
+    }
+
+    #[test]
+    fn init_on_every_branch_is_clean() {
+        let f = findings(
+            "main() { int x, y; y = 0; if (y) x = 1; else x = 2; y = x; }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn init_on_one_branch_is_not_definite() {
+        // Maybe-uninitialised is not flagged (no false positives).
+        let f = findings("main() { int x, y; y = 0; if (y) x = 1; y = x; }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn par_assignment_initialises() {
+        let f = findings(
+            "index_set I:i = {0..7};\nint a[8];\n\
+             main() { int x; par (I) st (i == 0) x = 0; x = x + 1; }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn dead_store_detected() {
+        let f = findings("main() { int x, y; x = 1; x = 2; y = x; }");
+        assert_eq!(codes_of(&f), vec!["UC131"]);
+        assert_eq!(f[0].span.line, 1);
+    }
+
+    #[test]
+    fn read_between_stores_is_clean() {
+        let f = findings("main() { int x, y; x = 1; y = x; x = 2; y = y + x; }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn control_flow_clears_dead_store_tracking() {
+        // The read happens inside the loop: not a dead store.
+        let f = findings(
+            "main() { int x, y, i; x = 1; for (i = 0; i < 3; i = i + 1) y = x; x = 2; y = x; }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unused_function_detected() {
+        let f = findings(
+            "int helper(int v) { return v + 1; }\nint orphan() { return 3; }\n\
+             main() { int x; x = helper(1); }",
+        );
+        assert_eq!(codes_of(&f), vec!["UC132"]);
+        assert!(f[0].message.contains("`orphan`"));
+    }
+
+    #[test]
+    fn transitive_calls_are_reachable() {
+        let f = findings(
+            "int inner() { return 1; }\nint outer() { return inner(); }\n\
+             main() { int x; x = outer(); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

@@ -1,0 +1,479 @@
+//! Static analysis: the multi-pass lint framework behind `uc check`.
+//!
+//! The paper's §4 describes three optimization classes — standard code
+//! optimizations, processor optimization, and communication-cost
+//! optimization. The executor *applies* them silently; this module
+//! surfaces the same analyses as compiler diagnostics with stable lint
+//! codes, so `uc check` reports what the optimizer knows:
+//!
+//! | code  | pass      | finding |
+//! |-------|-----------|---------|
+//! | UC101 | races     | par write-write conflict on a mono/global location |
+//! | UC110 | comm      | regular multi-axis grid shift through the general router |
+//! | UC111 | comm      | regular access misaligned with the iteration space |
+//! | UC120 | context   | statement under a constant-false (empty) context |
+//! | UC121 | context   | index set declared but never used |
+//! | UC130 | liveness  | local scalar read before initialisation |
+//! | UC131 | liveness  | dead store (value overwritten before any read) |
+//! | UC132 | liveness  | function never called from `main` |
+//!
+//! Every pass is a pure function over [`Checked`] — the symbol/type
+//! tables sema exports — so the same passes can later run over the
+//! compiled IR (ROADMAP item 3) without changing their reporting.
+
+mod comm;
+mod context;
+mod liveness;
+mod races;
+
+use std::collections::HashMap;
+
+use crate::ast::{Expr, IndexSetDef, IndexSetInit};
+use crate::diag::{Diagnostic, Diagnostics, Severity};
+use crate::sema::{self, Checked, IndexSetInfo};
+use crate::span::Span;
+
+/// One lint finding. Findings become [`Diagnostic`]s once a
+/// [`LintConfig`] has decided their severity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    pub code: &'static str,
+    pub span: Span,
+    pub message: String,
+}
+
+/// Static metadata of one lint code.
+#[derive(Debug, Clone, Copy)]
+pub struct LintInfo {
+    pub code: &'static str,
+    pub name: &'static str,
+    pub summary: &'static str,
+    /// Which §4 optimization class the lint reports on.
+    pub paper: &'static str,
+}
+
+/// Registry of every lint code the passes can emit.
+pub const LINTS: &[LintInfo] = &[
+    LintInfo {
+        code: "UC101",
+        name: "par-race",
+        summary: "multiple virtual processors store distinct values to one \
+                  mono/global location inside a `par` without a combining reduction",
+        paper: "§3.4 single-assignment rule / §4 processor optimization",
+    },
+    LintInfo {
+        code: "UC110",
+        name: "router-grid-shift",
+        summary: "a general-router access is provably a regular grid shift on \
+                  several axes; single-axis NEWS shifts would be cheaper",
+        paper: "§4 communication cost optimization",
+    },
+    LintInfo {
+        code: "UC111",
+        name: "router-misaligned",
+        summary: "a regular access pattern is misaligned with the iteration \
+                  space and takes the general router; a `map` declaration \
+                  could make it local or NEWS",
+        paper: "§4 communication cost optimization / map section",
+    },
+    LintInfo {
+        code: "UC120",
+        name: "dead-context",
+        summary: "statement executes under a provably-empty (constant-false) context",
+        paper: "§3.4 context semantics / §4 standard code optimizations",
+    },
+    LintInfo {
+        code: "UC121",
+        name: "unused-index-set",
+        summary: "index set (virtual-processor set) is declared but never used",
+        paper: "§3.1 index sets / §4 processor optimization",
+    },
+    LintInfo {
+        code: "UC130",
+        name: "use-before-init",
+        summary: "local scalar is read before any assignment on every path",
+        paper: "§4 standard code optimizations (dataflow)",
+    },
+    LintInfo {
+        code: "UC131",
+        name: "dead-store",
+        summary: "stored value is overwritten before it is ever read",
+        paper: "§4 standard code optimizations (dataflow)",
+    },
+    LintInfo {
+        code: "UC132",
+        name: "unused-function",
+        summary: "function is never called (directly or transitively) from `main`",
+        paper: "§4 standard code optimizations",
+    },
+];
+
+/// Look a code up in the registry.
+pub fn lint(code: &str) -> Option<&'static LintInfo> {
+    LINTS.iter().find(|l| l.code == code)
+}
+
+/// One analysis pass over the checked program.
+pub trait Pass {
+    /// Pass name (used in docs and debugging).
+    fn name(&self) -> &'static str;
+    /// Lint codes this pass can emit.
+    fn lints(&self) -> &'static [&'static str];
+    /// Run, appending findings.
+    fn run(&self, checked: &Checked, out: &mut Vec<Finding>);
+}
+
+/// The default pass registry, in execution order.
+pub fn passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(races::RacePass),
+        Box::new(comm::CommPass),
+        Box::new(context::ContextPass),
+        Box::new(liveness::LivenessPass),
+    ]
+}
+
+/// Run every registered pass and return the findings sorted by source
+/// position (then code) — deterministic regardless of pass order or table
+/// iteration order.
+pub fn analyze(checked: &Checked) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for pass in passes() {
+        let before = out.len();
+        pass.run(checked, &mut out);
+        debug_assert!(
+            out[before..].iter().all(|f| pass.lints().contains(&f.code)),
+            "pass {} emitted an unregistered lint code",
+            pass.name()
+        );
+    }
+    out.sort_by(|a, b| {
+        (a.span.start, a.span.end, a.code, &a.message).cmp(&(
+            b.span.start,
+            b.span.end,
+            b.code,
+            &b.message,
+        ))
+    });
+    out
+}
+
+/// Per-invocation lint policy: `--deny`/`--allow` flags.
+#[derive(Debug, Clone, Default)]
+pub struct LintConfig {
+    /// `--deny warnings`: every warning (lint or sema) becomes an error.
+    pub deny_warnings: bool,
+    /// Codes promoted to errors.
+    pub deny: Vec<String>,
+    /// Codes suppressed entirely.
+    pub allow: Vec<String>,
+}
+
+impl LintConfig {
+    /// Record one `--deny` argument. `warnings` is the catch-all.
+    pub fn deny(&mut self, what: &str) -> Result<(), String> {
+        if what == "warnings" {
+            self.deny_warnings = true;
+            return Ok(());
+        }
+        if lint(what).is_none() {
+            return Err(format!("unknown lint code `{what}`"));
+        }
+        self.deny.push(what.to_string());
+        Ok(())
+    }
+
+    /// Record one `--allow` argument.
+    pub fn allow(&mut self, what: &str) -> Result<(), String> {
+        if lint(what).is_none() {
+            return Err(format!("unknown lint code `{what}`"));
+        }
+        self.allow.push(what.to_string());
+        Ok(())
+    }
+
+    fn severity_of(&self, code: &str) -> Option<Severity> {
+        if self.allow.iter().any(|c| c == code) {
+            return None;
+        }
+        if self.deny_warnings || self.deny.iter().any(|c| c == code) {
+            Some(Severity::Error)
+        } else {
+            Some(Severity::Warning)
+        }
+    }
+
+    /// Convert findings to diagnostics under this policy.
+    pub fn apply(&self, findings: Vec<Finding>, diags: &mut Diagnostics) {
+        for f in findings {
+            if let Some(severity) = self.severity_of(f.code) {
+                let d = Diagnostic { severity, span: f.span, message: f.message, code: Some(f.code) };
+                diags.push(d);
+            }
+        }
+    }
+}
+
+/// Front-end + analysis entry point used by `uc check`: parse, constant
+/// fold, sema-check, interpret the map section, then run every lint pass
+/// under `cfg`. The returned diagnostics are normalized (sorted, deduped);
+/// with `--deny warnings` all warnings come back as errors.
+pub fn check_source(src: &str, defines: &[(&str, i64)], cfg: &LintConfig) -> Diagnostics {
+    let mut diags = Diagnostics::default();
+    if let Some(mut unit) = crate::parser::parse(src, &mut diags) {
+        for (name, value) in defines {
+            if let Some(slot) = unit.defines.iter_mut().find(|(n, _)| n == name) {
+                slot.1 = *value;
+            } else {
+                unit.defines.push((name.to_string(), *value));
+            }
+        }
+        crate::opt::fold_unit(&mut unit);
+        if let Some(checked) = sema::check(unit, &mut diags) {
+            let _ = crate::mapping::interpret_maps(&checked, &mut diags);
+            if !diags.has_errors() {
+                cfg.apply(analyze(&checked), &mut diags);
+            }
+        }
+    }
+    if cfg.deny_warnings {
+        diags.promote_warnings();
+    }
+    diags.normalize();
+    diags
+}
+
+// ---- JSON output ---------------------------------------------------------
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialise diagnostics as a JSON array (`uc check --format json`). The
+/// layout uses only objects, strings and non-negative integers so it
+/// round-trips through the workspace's shared hand-rolled JSON module
+/// (`uc_bench::json`); `code` is omitted for uncoded (parse/sema)
+/// diagnostics.
+pub fn diagnostics_to_json(diags: &Diagnostics) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {\n");
+        if let Some(code) = d.code {
+            out.push_str(&format!("    \"code\": \"{}\",\n", json_escape(code)));
+        }
+        let sev = match d.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        out.push_str(&format!("    \"severity\": \"{sev}\",\n"));
+        out.push_str(&format!("    \"message\": \"{}\",\n", json_escape(&d.message)));
+        out.push_str(&format!("    \"line\": {},\n", d.span.line));
+        out.push_str(&format!("    \"col\": {},\n", d.span.col));
+        out.push_str(&format!("    \"start\": {},\n", d.span.start));
+        out.push_str(&format!("    \"end\": {}\n  }}", d.span.end));
+    }
+    if !diags.items.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+// ---- shared pass helpers -------------------------------------------------
+
+/// Scope-aware index-set lookup shared by the passes: global sets from
+/// [`Checked`] plus `index_set` statements encountered while walking, the
+/// same shadowing rules sema applies.
+pub(crate) struct SetScopes<'c> {
+    checked: &'c Checked,
+    stack: Vec<HashMap<String, IndexSetInfo>>,
+}
+
+impl<'c> SetScopes<'c> {
+    pub fn new(checked: &'c Checked) -> Self {
+        SetScopes { checked, stack: Vec::new() }
+    }
+
+    pub fn push(&mut self) {
+        self.stack.push(HashMap::new());
+    }
+
+    pub fn pop(&mut self) {
+        self.stack.pop();
+    }
+
+    pub fn lookup(&self, name: &str) -> Option<&IndexSetInfo> {
+        for scope in self.stack.iter().rev() {
+            if let Some(info) = scope.get(name) {
+                return Some(info);
+            }
+        }
+        self.checked.index_set(name)
+    }
+
+    /// Evaluate a local `index_set` statement's definitions into the
+    /// innermost scope (errors were already reported by sema; evaluation
+    /// failures are silently skipped here).
+    pub fn define_local(&mut self, defs: &'c [IndexSetDef]) {
+        for def in defs {
+            if let Some(info) = self.eval_def(def) {
+                if let Some(scope) = self.stack.last_mut() {
+                    scope.insert(def.name.clone(), info);
+                }
+            }
+        }
+    }
+
+    fn eval_def(&self, def: &IndexSetDef) -> Option<IndexSetInfo> {
+        let consts = &self.checked.consts;
+        let elements = match &def.init {
+            IndexSetInit::Range(lo, hi) => {
+                let lo = sema::const_eval(lo, consts).ok()?;
+                let hi = sema::const_eval(hi, consts).ok()?;
+                if hi < lo {
+                    return None;
+                }
+                (lo..=hi).collect()
+            }
+            IndexSetInit::List(items) => items
+                .iter()
+                .map(|e| sema::const_eval(e, consts).ok())
+                .collect::<Option<Vec<i64>>>()?,
+            IndexSetInit::Alias(src) => self.lookup(src)?.elements.clone(),
+        };
+        if elements.is_empty() {
+            return None;
+        }
+        Some(IndexSetInfo { elem: def.elem.clone(), elements })
+    }
+}
+
+/// `lo` of a contiguous ascending element list (`{lo..hi}`), mirroring the
+/// executor's `ElemForm::AxisPlus` condition.
+pub(crate) fn contiguous_lo(elements: &[i64]) -> Option<i64> {
+    let lo = *elements.first()?;
+    for (k, &v) in elements.iter().enumerate() {
+        if v != lo + k as i64 {
+            return None;
+        }
+    }
+    Some(lo)
+}
+
+/// Whether `e` is a compile-time constant equal to zero (a provably-false
+/// predicate / provably-empty context).
+pub(crate) fn const_false(e: &Expr, checked: &Checked) -> bool {
+    sema::const_eval(e, &checked.consts) == Ok(0)
+}
+
+#[cfg(test)]
+pub(crate) fn check_str(src: &str) -> Checked {
+    let mut d = Diagnostics::default();
+    let mut unit = crate::parser::parse(src, &mut d).expect("parse");
+    crate::opt::fold_unit(&mut unit);
+    sema::check(unit, &mut d).unwrap_or_else(|| panic!("sema failed:\n{d}"))
+}
+
+#[cfg(test)]
+pub(crate) fn codes_of(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.code).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_consistent() {
+        // Codes are unique and sorted registrations resolve.
+        let mut codes: Vec<_> = LINTS.iter().map(|l| l.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), LINTS.len());
+        for p in passes() {
+            for c in p.lints() {
+                assert!(lint(c).is_some(), "pass {} lists unknown code {c}", p.name());
+            }
+        }
+        assert!(lint("UC101").is_some());
+        assert!(lint("UC999").is_none());
+    }
+
+    #[test]
+    fn lint_config_policies() {
+        let mut cfg = LintConfig::default();
+        assert!(cfg.deny("UC101").is_ok());
+        assert!(cfg.allow("UC131").is_ok());
+        assert!(cfg.deny("bogus").is_err());
+        assert!(cfg.allow("bogus").is_err());
+        let findings = vec![
+            Finding { code: "UC101", span: Span::default(), message: "a".into() },
+            Finding { code: "UC120", span: Span::default(), message: "b".into() },
+            Finding { code: "UC131", span: Span::default(), message: "c".into() },
+        ];
+        let mut diags = Diagnostics::default();
+        cfg.apply(findings, &mut diags);
+        assert_eq!(diags.items.len(), 2, "allowed code dropped");
+        assert_eq!(diags.items[0].severity, Severity::Error, "denied code escalated");
+        assert_eq!(diags.items[1].severity, Severity::Warning);
+    }
+
+    #[test]
+    fn check_source_reports_and_denies() {
+        let src = "index_set I:i = {0..7};\nint s;\nmain() { par (I) s = i; }";
+        let diags = check_source(src, &[], &LintConfig::default());
+        assert!(!diags.has_errors());
+        assert!(diags.items.iter().any(|d| d.code == Some("UC101")), "{diags}");
+
+        let mut deny = LintConfig::default();
+        deny.deny("warnings").unwrap();
+        let diags = check_source(src, &[], &deny);
+        assert!(diags.has_errors());
+    }
+
+    #[test]
+    fn check_source_applies_defines() {
+        // With the default N=4 the guard `N > 2` is constant-true; the
+        // `-D N=1` override makes it constant-false (dead context).
+        let src = "#define N 4\nindex_set I:i = {0..7};\nint a[8];\nmain() { par (I) st (N > 2) a[i] = 1; }";
+        let clean = check_source(src, &[], &LintConfig::default());
+        assert!(!clean.items.iter().any(|d| d.code == Some("UC120")), "{clean}");
+        let dead = check_source(src, &[("N", 1)], &LintConfig::default());
+        assert!(dead.items.iter().any(|d| d.code == Some("UC120")), "{dead}");
+    }
+
+    #[test]
+    fn json_output_shape() {
+        let src = "index_set I:i = {0..7};\nint s;\nmain() { par (I) s = i; }";
+        let diags = check_source(src, &[], &LintConfig::default());
+        let json = diagnostics_to_json(&diags);
+        assert!(json.starts_with('['));
+        assert!(json.contains("\"code\": \"UC101\""));
+        assert!(json.contains("\"severity\": \"warning\""));
+        // Empty list prints a bare array.
+        assert_eq!(diagnostics_to_json(&Diagnostics::default()), "[]");
+    }
+
+    #[test]
+    fn contiguity() {
+        assert_eq!(contiguous_lo(&[3, 4, 5]), Some(3));
+        assert_eq!(contiguous_lo(&[0]), Some(0));
+        assert_eq!(contiguous_lo(&[4, 2, 9]), None);
+        assert_eq!(contiguous_lo(&[]), None);
+    }
+}

@@ -1,0 +1,457 @@
+//! UC101 — par-assignment race detection.
+//!
+//! Inside a `par`, every enabled index element executes each assignment
+//! synchronously. A store whose *target location* does not vary with some
+//! index element the *stored value* varies with makes several virtual
+//! processors write distinct values to one mono/global location — the
+//! write-write conflict the paper's §3.4 single-assignment rule forbids
+//! (the runtime detects it with the router's collision detection; this
+//! pass reports it statically).
+//!
+//! Conservative suppressions keep the lint quiet on correct programs:
+//! values combined by a reduction bind their own elements (not free), and
+//! a store guarded by a predicate that mentions the offending element is
+//! assumed to narrow the context (e.g. `st (i == 0)`).
+
+use std::collections::{HashMap, HashSet};
+
+use super::{Finding, Pass, SetScopes};
+use crate::ast::*;
+use crate::sema::Checked;
+use crate::span::Span;
+
+pub(crate) struct RacePass;
+
+/// How a construct binds its index elements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BinderKind {
+    /// `par` / `*par`: every enabled element runs synchronously.
+    Par,
+    /// `seq`, `oneof`, `solve`: one element (at a time) executes, or the
+    /// construct has its own single-assignment discipline.
+    Sequential,
+    /// Reduction-bound: values are combined, not raced.
+    Combined,
+}
+
+struct Walker<'c> {
+    checked: &'c Checked,
+    scopes: SetScopes<'c>,
+    /// Innermost-last element binders.
+    binders: Vec<(String, BinderKind)>,
+    /// Local variables in scope → number of enclosing `par`s at declaration.
+    locals: Vec<HashMap<String, usize>>,
+    /// Elements mentioned by enclosing predicates (`st`, `if`, loop conds).
+    guards: Vec<HashSet<String>>,
+    par_depth: usize,
+    out: Vec<Finding>,
+}
+
+impl Pass for RacePass {
+    fn name(&self) -> &'static str {
+        "races"
+    }
+
+    fn lints(&self) -> &'static [&'static str] {
+        &["UC101"]
+    }
+
+    fn run(&self, checked: &Checked, out: &mut Vec<Finding>) {
+        let mut w = Walker {
+            checked,
+            scopes: SetScopes::new(checked),
+            binders: Vec::new(),
+            locals: Vec::new(),
+            guards: Vec::new(),
+            par_depth: 0,
+            out: Vec::new(),
+        };
+        for f in checked.funcs_in_order() {
+            w.locals.push(f.params.iter().map(|(_, n)| (n.clone(), 0)).collect());
+            w.scopes.push();
+            for s in &f.body.stmts {
+                w.stmt(s);
+            }
+            w.scopes.pop();
+            w.locals.pop();
+        }
+        out.append(&mut w.out);
+    }
+}
+
+impl<'c> Walker<'c> {
+    fn stmt(&mut self, s: &'c Stmt) {
+        match s {
+            Stmt::Expr(e) => self.expr(e),
+            Stmt::Decl(v) => {
+                if let Some(init) = &v.init {
+                    self.expr(init);
+                }
+                if let Some(scope) = self.locals.last_mut() {
+                    scope.insert(v.name.clone(), self.par_depth);
+                }
+            }
+            Stmt::IndexSets(defs) => self.scopes.define_local(defs),
+            Stmt::Block(b) => {
+                self.scopes.push();
+                self.locals.push(HashMap::new());
+                for s in &b.stmts {
+                    self.stmt(s);
+                }
+                self.locals.pop();
+                self.scopes.pop();
+            }
+            Stmt::If { cond, then_branch, else_branch, .. } => {
+                self.expr(cond);
+                self.push_guard(cond);
+                self.stmt(then_branch);
+                if let Some(e) = else_branch {
+                    self.stmt(e);
+                }
+                self.guards.pop();
+            }
+            Stmt::While { cond, body, .. } => {
+                self.expr(cond);
+                self.push_guard(cond);
+                self.stmt(body);
+                self.guards.pop();
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                for e in [init, cond, step].into_iter().flatten() {
+                    self.expr(e);
+                }
+                match cond {
+                    Some(c) => self.push_guard(c),
+                    None => self.guards.push(HashSet::new()),
+                }
+                self.stmt(body);
+                self.guards.pop();
+            }
+            Stmt::Return(e, _) => {
+                if let Some(e) = e {
+                    self.expr(e);
+                }
+            }
+            Stmt::Uc(uc) => self.uc(uc),
+            Stmt::Break(_) | Stmt::Continue(_) | Stmt::Empty => {}
+        }
+    }
+
+    fn uc(&mut self, uc: &'c UcStmt) {
+        let kind = match uc.kind {
+            UcKind::Par => BinderKind::Par,
+            UcKind::Seq | UcKind::Solve | UcKind::Oneof => BinderKind::Sequential,
+        };
+        let pushed = self.push_elems(&uc.idxs, kind);
+        if kind == BinderKind::Par {
+            self.par_depth += 1;
+        }
+        for arm in &uc.arms {
+            match &arm.pred {
+                Some(p) => {
+                    self.expr(p);
+                    self.push_guard(p);
+                }
+                None => self.guards.push(HashSet::new()),
+            }
+            self.stmt(&arm.body);
+            self.guards.pop();
+        }
+        if let Some(o) = &uc.others {
+            // `others` runs under the negation of every arm predicate:
+            // still a narrowed context mentioning the same elements.
+            let mut mentioned = HashSet::new();
+            for arm in &uc.arms {
+                if let Some(p) = &arm.pred {
+                    self.free_par_elems(p, &mut mentioned);
+                }
+            }
+            self.guards.push(mentioned);
+            self.stmt(o);
+            self.guards.pop();
+        }
+        if kind == BinderKind::Par {
+            self.par_depth -= 1;
+        }
+        self.binders.truncate(self.binders.len() - pushed);
+    }
+
+    /// Bind the elements of the named sets; returns how many were pushed.
+    fn push_elems(&mut self, idxs: &[String], kind: BinderKind) -> usize {
+        let mut pushed = 0;
+        for name in idxs {
+            if let Some(info) = self.scopes.lookup(name) {
+                self.binders.push((info.elem.clone(), kind));
+                pushed += 1;
+            }
+        }
+        pushed
+    }
+
+    fn push_guard(&mut self, pred: &Expr) {
+        let mut mentioned = HashSet::new();
+        self.free_par_elems(pred, &mut mentioned);
+        self.guards.push(mentioned);
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match e {
+            Expr::Assign { target, op, value, span } => {
+                self.check_assign(target, *op, value, *span);
+                if let Expr::Index { subs, .. } = target.as_ref() {
+                    for s in subs {
+                        self.expr(s);
+                    }
+                }
+                self.expr(value);
+            }
+            Expr::Index { subs, .. } => {
+                for s in subs {
+                    self.expr(s);
+                }
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            Expr::Unary { expr, .. } => self.expr(expr),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            Expr::Ternary { cond, then_e, else_e, .. } => {
+                self.expr(cond);
+                self.expr(then_e);
+                self.expr(else_e);
+            }
+            Expr::Reduce(r) => {
+                let pushed = self.push_elems(&r.idxs, BinderKind::Combined);
+                for (p, o) in &r.arms {
+                    if let Some(p) = p {
+                        self.expr(p);
+                    }
+                    self.expr(o);
+                }
+                if let Some(o) = &r.others {
+                    self.expr(o);
+                }
+                self.binders.truncate(self.binders.len() - pushed);
+            }
+            _ => {}
+        }
+    }
+
+    fn check_assign(&mut self, target: &Expr, op: Option<BinaryOp>, value: &Expr, span: Span) {
+        if self.par_depth == 0 {
+            return;
+        }
+        // Where does the store land, and which par elements select the
+        // location?
+        let mut loc_elems = HashSet::new();
+        let target_text = match target {
+            Expr::Ident(name, _) => {
+                if self.is_per_vp_local(name) {
+                    return; // one location per virtual processor
+                }
+                name.clone()
+            }
+            Expr::Index { base, subs, .. } => {
+                for s in subs {
+                    self.free_par_elems(s, &mut loc_elems);
+                }
+                let mut t = base.clone();
+                for s in subs {
+                    t.push_str(&format!("[{}]", crate::pretty::expr(s)));
+                }
+                t
+            }
+            _ => return,
+        };
+        let mut val_elems = HashSet::new();
+        self.free_par_elems(value, &mut val_elems);
+        if op.is_some() {
+            // Compound assignment also reads the target location.
+            for e in &loc_elems {
+                val_elems.remove(e);
+            }
+        }
+        let mut missing: Vec<&String> = val_elems
+            .iter()
+            .filter(|e| !loc_elems.contains(*e))
+            .filter(|e| !self.guards.iter().any(|g| g.contains(*e)))
+            .collect();
+        missing.sort();
+        if let Some(elem) = missing.first() {
+            self.out.push(Finding {
+                code: "UC101",
+                span,
+                message: format!(
+                    "write-write race in `par`: the stored value varies with `{elem}` but \
+                     every enabled element stores to the same location `{target_text}` — \
+                     distinct values collide without a combining reduction (§3.4)"
+                ),
+            });
+        }
+    }
+
+    /// Is `name` a local declared inside the current par nest (one copy
+    /// per virtual processor)?
+    fn is_per_vp_local(&self, name: &str) -> bool {
+        for scope in self.locals.iter().rev() {
+            if let Some(&depth) = scope.get(name) {
+                return depth > 0;
+            }
+        }
+        false
+    }
+
+    /// Collect `par`-bound element names free in `e` (reduction-bound and
+    /// sequentially-bound elements shadow and are excluded).
+    fn free_par_elems(&self, e: &Expr, out: &mut HashSet<String>) {
+        match e {
+            Expr::Ident(name, _) => {
+                if self.checked.consts.contains_key(name) {
+                    return;
+                }
+                if let Some((_, kind)) = self.binders.iter().rev().find(|(n, _)| n == name) {
+                    if *kind == BinderKind::Par {
+                        out.insert(name.clone());
+                    }
+                }
+            }
+            Expr::Index { subs, .. } => {
+                for s in subs {
+                    self.free_par_elems(s, out);
+                }
+            }
+            Expr::Call { args, .. } => {
+                for a in args {
+                    self.free_par_elems(a, out);
+                }
+            }
+            Expr::Unary { expr, .. } => self.free_par_elems(expr, out),
+            Expr::Binary { lhs, rhs, .. } => {
+                self.free_par_elems(lhs, out);
+                self.free_par_elems(rhs, out);
+            }
+            Expr::Ternary { cond, then_e, else_e, .. } => {
+                self.free_par_elems(cond, out);
+                self.free_par_elems(then_e, out);
+                self.free_par_elems(else_e, out);
+            }
+            Expr::Assign { target, value, .. } => {
+                self.free_par_elems(target, out);
+                self.free_par_elems(value, out);
+            }
+            Expr::Reduce(r) => {
+                // Elements the reduction itself binds are combined, not
+                // free; shadow them during the sub-walk.
+                let shadowed: Vec<String> = r
+                    .idxs
+                    .iter()
+                    .filter_map(|s| self.scopes.lookup(s).map(|i| i.elem.clone()))
+                    .collect();
+                let mut inner = HashSet::new();
+                for (p, o) in &r.arms {
+                    if let Some(p) = p {
+                        self.free_par_elems(p, &mut inner);
+                    }
+                    self.free_par_elems(o, &mut inner);
+                }
+                if let Some(o) = &r.others {
+                    self.free_par_elems(o, &mut inner);
+                }
+                for name in inner {
+                    if !shadowed.contains(&name) {
+                        out.insert(name);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{check_str, codes_of};
+    use super::*;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let checked = check_str(src);
+        let mut out = Vec::new();
+        RacePass.run(&checked, &mut out);
+        out
+    }
+
+    #[test]
+    fn scalar_race_detected() {
+        let f = findings("index_set I:i = {0..7};\nint s;\nmain() { par (I) s = i; }");
+        assert_eq!(codes_of(&f), vec!["UC101"]);
+        assert!(f[0].message.contains("`s`"));
+        assert_eq!(f[0].span.line, 3);
+    }
+
+    #[test]
+    fn constant_element_race_detected() {
+        let f = findings("index_set I:i = {0..7};\nint a[8];\nmain() { par (I) a[0] = i; }");
+        assert_eq!(codes_of(&f), vec!["UC101"]);
+        assert!(f[0].message.contains("a[0]"));
+    }
+
+    #[test]
+    fn missing_axis_race_detected() {
+        let f = findings(
+            "index_set I:i = {0..3}, J:j = I;\nint a[4];\nmain() { par (I, J) a[i] = j; }",
+        );
+        assert_eq!(codes_of(&f), vec!["UC101"]);
+        assert!(f[0].message.contains("`j`"));
+    }
+
+    #[test]
+    fn same_value_stores_are_clean() {
+        // Every element stores 1 — identical values are allowed (§3.4).
+        let f = findings("index_set I:i = {0..7};\nint s, a[8];\nmain() { par (I) st (a[i] > 0) s = 1; }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn guard_mentioning_element_suppresses() {
+        let f = findings("index_set I:i = {0..7};\nint s;\nmain() { par (I) st (i == 0) s = i; }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn reduction_combines_cleanly() {
+        let f = findings(
+            "index_set I:i = {0..7}, J:j = I;\nint a[8], rank[8];\n\
+             main() { par (I) rank[i] = $+(J st (a[j] < a[i]) 1); }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn per_vp_locals_are_clean() {
+        let f = findings(
+            "index_set I:i = {0..7};\nint a[8];\nmain() { par (I) { int t; t = i; a[i] = t; } }",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn seq_is_sequential() {
+        let f = findings("index_set I:i = {0..7};\nint s;\nmain() { seq (I) s = i; }");
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn compound_assignment_reads_target() {
+        // a[i] += i varies with i in both value and location: clean.
+        let f = findings("index_set I:i = {0..7};\nint a[8];\nmain() { par (I) a[i] += i; }");
+        assert!(f.is_empty(), "{f:?}");
+        // s += i still races on the shared location.
+        let f = findings("index_set I:i = {0..7};\nint s;\nmain() { par (I) s += i; }");
+        assert_eq!(codes_of(&f), vec!["UC101"]);
+    }
+}

@@ -43,6 +43,7 @@
 //! assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
 //! ```
 
+pub mod analysis;
 pub mod ast;
 pub mod cstar_emit;
 pub mod diag;

@@ -315,13 +315,29 @@ impl<'a> Parser<'a> {
         self.expect(&T::LBrace, "`{`")?;
         let mut stmts = Vec::new();
         while !self.at(&T::RBrace) && !self.at(&T::Eof) {
-            match self.stmt() {
-                Ok(s) => stmts.push(s),
-                Err(()) => self.synchronize(),
+            // Parse declarations here (not via `stmt`) so a multi-
+            // declarator `int x, y;` contributes every name to *this*
+            // block's scope.
+            let parsed = match self.peek() {
+                T::KwInt | T::KwFloat => self.decl_stmts().map(|ds| stmts.extend(ds)),
+                _ => self.stmt().map(|s| stmts.push(s)),
+            };
+            if parsed.is_err() {
+                self.synchronize();
             }
         }
         self.expect(&T::RBrace, "`}`")?;
         Ok(Block { stmts })
+    }
+
+    /// `int|float declarator (, declarator)* ;` as one `Stmt::Decl` each.
+    fn decl_stmts(&mut self) -> PResult<Vec<Stmt>> {
+        let ty = self.type_name()?;
+        let name = self.ident("a declarator name")?;
+        let (first, rest) = self.var_decl_rest(ty, name)?;
+        let mut stmts = vec![Stmt::Decl(first)];
+        stmts.extend(rest.into_iter().map(Stmt::Decl));
+        Ok(stmts)
     }
 
     fn stmt(&mut self) -> PResult<Stmt> {
@@ -334,14 +350,12 @@ impl<'a> Parser<'a> {
             T::LBrace => Ok(Stmt::Block(self.block()?)),
             T::KwIndexSet => Ok(Stmt::IndexSets(self.index_set_decl()?)),
             T::KwInt | T::KwFloat => {
-                let ty = self.type_name()?;
-                let name = self.ident("a declarator name")?;
-                let (first, rest) = self.var_decl_rest(ty, name)?;
-                if rest.is_empty() {
-                    Ok(Stmt::Decl(first))
+                // A declaration in single-statement position (e.g. an
+                // unbraced `if` branch): scope it to a synthetic block.
+                let mut stmts = self.decl_stmts()?;
+                if stmts.len() == 1 {
+                    Ok(stmts.pop().unwrap())
                 } else {
-                    let mut stmts = vec![Stmt::Decl(first)];
-                    stmts.extend(rest.into_iter().map(Stmt::Decl));
                     Ok(Stmt::Block(Block { stmts }))
                 }
             }

@@ -52,6 +52,80 @@ impl Checked {
     pub fn index_set(&self, name: &str) -> Option<&IndexSetInfo> {
         self.index_sets.iter().rev().find(|(n, _)| n == name).map(|(_, i)| i)
     }
+
+    /// Function definitions in source order (the `funcs` map is keyed for
+    /// lookup; analysis passes walk this for deterministic output).
+    pub fn funcs_in_order(&self) -> impl Iterator<Item = &FuncDef> {
+        self.unit.items.iter().filter_map(|it| match it {
+            Item::Func(f) => Some(f),
+            _ => None,
+        })
+    }
+}
+
+/// Evaluate a compile-time constant integer expression against a constant
+/// table (`#define`s). Returns the span of the first non-constant
+/// subexpression on failure. Exported for the static-analysis passes,
+/// which use the same notion of "front-end constant" as sema.
+pub fn const_eval(e: &Expr, consts: &HashMap<String, i64>) -> Result<i64, Span> {
+    match e {
+        Expr::IntLit(v, _) => Ok(*v),
+        Expr::Inf(_) => Ok(i64::MAX),
+        Expr::Ident(name, span) => consts.get(name).copied().ok_or(*span),
+        Expr::Unary { op, expr, .. } => {
+            let v = const_eval(expr, consts)?;
+            Ok(match op {
+                UnaryOp::Neg => -v,
+                UnaryOp::Not => (v == 0) as i64,
+                UnaryOp::BitNot => !v,
+            })
+        }
+        Expr::Binary { op, lhs, rhs, span } => {
+            let l = const_eval(lhs, consts)?;
+            let r = const_eval(rhs, consts)?;
+            use BinaryOp::*;
+            let v = match op {
+                Add => l.wrapping_add(r),
+                Sub => l.wrapping_sub(r),
+                Mul => l.wrapping_mul(r),
+                Div => {
+                    if r == 0 {
+                        return Err(*span);
+                    }
+                    l / r
+                }
+                Mod => {
+                    if r == 0 {
+                        return Err(*span);
+                    }
+                    l % r
+                }
+                Shl => l.wrapping_shl(r as u32),
+                Shr => l.wrapping_shr(r as u32),
+                Lt => (l < r) as i64,
+                Le => (l <= r) as i64,
+                Gt => (l > r) as i64,
+                Ge => (l >= r) as i64,
+                Eq => (l == r) as i64,
+                Ne => (l != r) as i64,
+                BitAnd => l & r,
+                BitXor => l ^ r,
+                BitOr => l | r,
+                LogAnd => ((l != 0) && (r != 0)) as i64,
+                LogOr => ((l != 0) || (r != 0)) as i64,
+            };
+            Ok(v)
+        }
+        Expr::Ternary { cond, then_e, else_e, .. } => {
+            let c = const_eval(cond, consts)?;
+            if c != 0 {
+                const_eval(then_e, consts)
+            } else {
+                const_eval(else_e, consts)
+            }
+        }
+        other => Err(other.span()),
+    }
 }
 
 /// Run semantic analysis. Errors are recorded in `diags`; returns `None`
@@ -272,67 +346,7 @@ impl<'a> Checker<'a> {
     }
 
     fn try_const_expr(&self, e: &Expr) -> Result<i64, Span> {
-        match e {
-            Expr::IntLit(v, _) => Ok(*v),
-            Expr::Inf(_) => Ok(i64::MAX),
-            Expr::Ident(name, span) => {
-                self.consts.get(name).copied().ok_or(*span)
-            }
-            Expr::Unary { op, expr, span } => {
-                let v = self.try_const_expr(expr)?;
-                Ok(match op {
-                    UnaryOp::Neg => -v,
-                    UnaryOp::Not => (v == 0) as i64,
-                    UnaryOp::BitNot => !v,
-                })
-                .map_err(|()| *span)
-            }
-            Expr::Binary { op, lhs, rhs, span } => {
-                let l = self.try_const_expr(lhs)?;
-                let r = self.try_const_expr(rhs)?;
-                use BinaryOp::*;
-                let v = match op {
-                    Add => l.wrapping_add(r),
-                    Sub => l.wrapping_sub(r),
-                    Mul => l.wrapping_mul(r),
-                    Div => {
-                        if r == 0 {
-                            return Err(*span);
-                        }
-                        l / r
-                    }
-                    Mod => {
-                        if r == 0 {
-                            return Err(*span);
-                        }
-                        l % r
-                    }
-                    Shl => l.wrapping_shl(r as u32),
-                    Shr => l.wrapping_shr(r as u32),
-                    Lt => (l < r) as i64,
-                    Le => (l <= r) as i64,
-                    Gt => (l > r) as i64,
-                    Ge => (l >= r) as i64,
-                    Eq => (l == r) as i64,
-                    Ne => (l != r) as i64,
-                    BitAnd => l & r,
-                    BitXor => l ^ r,
-                    BitOr => l | r,
-                    LogAnd => ((l != 0) && (r != 0)) as i64,
-                    LogOr => ((l != 0) || (r != 0)) as i64,
-                };
-                Ok(v)
-            }
-            Expr::Ternary { cond, then_e, else_e, .. } => {
-                let c = self.try_const_expr(cond)?;
-                if c != 0 {
-                    self.try_const_expr(then_e)
-                } else {
-                    self.try_const_expr(else_e)
-                }
-            }
-            other => Err(other.span()),
-        }
+        const_eval(e, &self.consts)
     }
 
     // ---- function bodies ------------------------------------------------

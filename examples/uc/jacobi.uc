@@ -1,0 +1,19 @@
+// Jacobi relaxation on an N x N grid (paper §2): interior points average
+// their four neighbours. Each neighbour access displaces exactly one
+// axis, so the executor compiles them to NEWS shifts — the comm lint
+// stays silent, and `uc run` reports news (not router) traffic.
+#define N 8
+#define STEPS 10
+index_set I:i = {0..N-1}, J:j = I;
+float u[N][N], v[N][N];
+int t;
+main() {
+    par (I, J) u[i][j] = 0.0;
+    par (I, J) st (i == 0) u[i][j] = 100.0;
+    for (t = 0; t < STEPS; t = t + 1) {
+        par (I, J) st (i > 0 && i < N-1 && j > 0 && j < N-1)
+            v[i][j] = (u[i-1][j] + u[i+1][j] + u[i][j-1] + u[i][j+1]) / 4.0;
+        par (I, J) st (i > 0 && i < N-1 && j > 0 && j < N-1)
+            u[i][j] = v[i][j];
+    }
+}

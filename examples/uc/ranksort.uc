@@ -1,0 +1,13 @@
+// Rank sort (paper §3.2): each element counts, in parallel, how many
+// elements precede it, then scatters itself to that rank. Ties are
+// broken by index so the permutation is total. Lint-clean: the count
+// combines through the $+ reduction and the scatter location varies
+// with the rank.
+#define N 16
+index_set I:i = {0..N-1}, J:j = I;
+int a[N], rank[N], sorted[N];
+main() {
+    par (I) a[i] = (N - i) * 7 % 23;
+    par (I) rank[i] = $+(J st (a[j] < a[i] || (a[j] == a[i] && j < i)) 1);
+    par (I) sorted[rank[i]] = a[i];
+}

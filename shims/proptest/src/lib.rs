@@ -8,14 +8,16 @@
 //!   `mut` bindings);
 //! * integer-range strategies (`-1000i64..1000`), [`any`]`::<bool>()`,
 //!   [`collection::vec`] and [`strategy::Just`];
-//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`];
+//! * **shrinking**: a failing case is reduced by a bounded greedy halving
+//!   search ([`Strategy::shrink`]) before it is reported, so the panic
+//!   message names a (locally) minimal failing input instead of the raw
+//!   random sample.
 //!
-//! Unlike real proptest there is **no shrinking**: each test runs
-//! `ProptestConfig::cases` deterministic pseudo-random cases (seeded from
-//! the test's module path and case index, so failures reproduce exactly)
-//! and reports the first failing case's message. That is a weaker failure
-//! report but the same coverage model. Swap in the real proptest by
-//! removing the path override in the workspace `Cargo.toml`.
+//! Each test runs `ProptestConfig::cases` deterministic pseudo-random
+//! cases (seeded from the test's module path and case index, so failures
+//! reproduce exactly). Swap in the real proptest by removing the path
+//! override in the workspace `Cargo.toml`.
 
 pub mod test_runner {
     /// How many pseudo-random cases each property runs.
@@ -82,7 +84,16 @@ pub mod strategy {
     /// A generator of values for one `pat in strategy` binding.
     pub trait Strategy {
         type Value;
+
         fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Candidate simplifications of a failing value, *simplest first*.
+        /// The runner greedily walks to the first candidate that still
+        /// fails; strategies with nothing meaningful to shrink return
+        /// nothing (the default).
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
     }
 
     macro_rules! int_range_strategy {
@@ -94,6 +105,12 @@ pub mod strategy {
                     let span = (self.end as i128 - self.start as i128) as u64;
                     (self.start as i128 + rng.below(span) as i128) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink(self.start as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
+                }
             }
             impl Strategy for ::std::ops::RangeInclusive<$t> {
                 type Value = $t;
@@ -103,11 +120,29 @@ pub mod strategy {
                     let span = (end as i128 - start as i128 + 1) as u64;
                     (start as i128 + rng.below(span) as i128) as $t
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    int_shrink(*self.start() as i128, *value as i128)
+                        .into_iter()
+                        .map(|v| v as $t)
+                        .collect()
+                }
             }
         )*};
     }
 
     int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    /// Halving toward the range start: `start` itself, the midpoint, and
+    /// the predecessor — simplest first, `value` excluded.
+    pub(crate) fn int_shrink(start: i128, value: i128) -> Vec<i128> {
+        if value == start {
+            return Vec::new();
+        }
+        let mut out = vec![start, start + (value - start) / 2, value - 1];
+        out.dedup();
+        out.retain(|&v| v != value);
+        out
+    }
 
     /// `any::<T>()` — full-domain strategy for small types.
     pub struct Any<T>(std::marker::PhantomData<T>);
@@ -121,6 +156,13 @@ pub mod strategy {
         fn sample(&self, rng: &mut TestRng) -> bool {
             rng.next_u64() & 1 == 1
         }
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
     }
 
     /// Constant strategy.
@@ -131,6 +173,40 @@ pub mod strategy {
         type Value = T;
         fn sample(&self, _rng: &mut TestRng) -> T {
             self.0.clone()
+        }
+    }
+
+    // The `proptest!` macro folds a test's bindings into a nested tuple
+    // strategy `(s1, (s2, ()))`, so shrinking can vary one binding while
+    // holding the others fixed.
+
+    impl Strategy for () {
+        type Value = ();
+        fn sample(&self, _rng: &mut TestRng) {}
+    }
+
+    impl<A, B> Strategy for (A, B)
+    where
+        A: Strategy,
+        B: Strategy,
+        A::Value: Clone,
+        B::Value: Clone,
+    {
+        type Value = (A::Value, B::Value);
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.sample(rng), self.1.sample(rng))
+        }
+
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            for a in self.0.shrink(&value.0) {
+                out.push((a, value.1.clone()));
+            }
+            for b in self.1.shrink(&value.1) {
+                out.push((value.0.clone(), b));
+            }
+            out
         }
     }
 }
@@ -176,11 +252,36 @@ pub mod collection {
         VecStrategy { elem, min, max }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
+
         fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = self.min + rng.below((self.max - self.min) as u64) as usize;
             (0..len).map(|_| self.elem.sample(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            // Length halving first (smaller inputs are simpler), then
+            // dropping one element, then shrinking elements in place.
+            if value.len() > self.min {
+                let half = (value.len() / 2).max(self.min);
+                if half < value.len() - 1 {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+            }
+            for (i, x) in value.iter().enumerate() {
+                for c in self.elem.shrink(x) {
+                    let mut w = value.clone();
+                    w[i] = c;
+                    out.push(w);
+                }
+            }
+            out
         }
     }
 }
@@ -195,6 +296,51 @@ pub mod prelude {
     pub mod prop {
         pub use crate::collection;
     }
+}
+
+/// Greedy bounded shrink: walk to the first candidate that still fails,
+/// repeat from there, stop when no candidate fails (local minimum) or
+/// after `MAX_SHRINK_RUNS` property executions. Returns the minimal
+/// failing value and its failure message.
+pub fn shrink_failure<S, F>(
+    strat: &S,
+    mut value: S::Value,
+    run: &F,
+    mut message: String,
+) -> (S::Value, String)
+where
+    S: strategy::Strategy,
+    S::Value: Clone,
+    F: Fn(S::Value) -> Result<(), String>,
+{
+    const MAX_SHRINK_RUNS: usize = 512;
+    let mut runs = 0;
+    'outer: while runs < MAX_SHRINK_RUNS {
+        for candidate in strat.shrink(&value) {
+            runs += 1;
+            if let Err(msg) = run(candidate.clone()) {
+                value = candidate;
+                message = msg;
+                continue 'outer;
+            }
+            if runs >= MAX_SHRINK_RUNS {
+                break;
+            }
+        }
+        break; // every candidate passes: local minimum
+    }
+    (value, message)
+}
+
+/// Pins a runner closure's argument type to `S::Value` so the
+/// `proptest!` expansion type-checks without explicit annotations.
+#[doc(hidden)]
+pub fn bind_runner<S, F>(_strat: &S, f: F) -> F
+where
+    S: strategy::Strategy,
+    F: Fn(S::Value) -> Result<(), String>,
+{
+    f
 }
 
 /// Fails the current case (returning its message) unless `cond` holds.
@@ -252,7 +398,8 @@ macro_rules! prop_assert_ne {
 }
 
 /// The property-test macro: each contained `#[test] fn name(bindings)`
-/// becomes a zero-argument test running `cases` deterministic samples.
+/// becomes a zero-argument test running `cases` deterministic samples,
+/// shrinking any failure before reporting it.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -278,19 +425,31 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let __config = $cfg;
+            let __strat = $crate::__proptest_strats!($($params)*);
+            let __run = $crate::bind_runner(&__strat, |__vals| {
+                $crate::__proptest_unbind!{ __vals; $($params)* }
+                (move || {
+                    $body
+                    Ok(())
+                })()
+            });
             for __case in 0..__config.cases {
                 let mut __rng = $crate::test_runner::TestRng::for_case(
                     concat!(module_path!(), "::", stringify!($name)),
                     __case,
                 );
-                $crate::__proptest_bind!{ __rng; $($params)* }
-                let __result: ::std::result::Result<(), ::std::string::String> =
-                    (move || {
-                        $body
-                        Ok(())
-                    })();
-                if let Err(__msg) = __result {
-                    panic!("proptest case {} of {} failed: {}", __case, __config.cases, __msg);
+                let __vals = $crate::strategy::Strategy::sample(&__strat, &mut __rng);
+                if let Err(__msg) = __run(::std::clone::Clone::clone(&__vals)) {
+                    let (__min, __min_msg) =
+                        $crate::shrink_failure(&__strat, __vals, &__run, __msg);
+                    panic!(
+                        "proptest case {} of {} failed: {}\nminimal failing input ({}): {:?}",
+                        __case,
+                        __config.cases,
+                        __min_msg,
+                        stringify!($($params)*),
+                        __min,
+                    );
                 }
             }
         }
@@ -298,23 +457,41 @@ macro_rules! __proptest_impl {
     };
 }
 
+/// Folds `a in s1, b in s2, ...` into the nested tuple strategy
+/// `(s1, (s2, ()))`.
 #[doc(hidden)]
 #[macro_export]
-macro_rules! __proptest_bind {
-    ($rng:ident;) => {};
-    ($rng:ident; mut $var:ident in $strat:expr) => {
-        let mut $var = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+macro_rules! __proptest_strats {
+    () => { () };
+    (mut $var:ident in $strat:expr) => { (($strat), ()) };
+    (mut $var:ident in $strat:expr, $($rest:tt)*) => {
+        (($strat), $crate::__proptest_strats!($($rest)*))
     };
-    ($rng:ident; mut $var:ident in $strat:expr, $($rest:tt)*) => {
-        let mut $var = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
-        $crate::__proptest_bind!{ $rng; $($rest)* }
+    ($var:ident in $strat:expr) => { (($strat), ()) };
+    ($var:ident in $strat:expr, $($rest:tt)*) => {
+        (($strat), $crate::__proptest_strats!($($rest)*))
     };
-    ($rng:ident; $var:ident in $strat:expr) => {
-        let $var = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
+}
+
+/// Destructures the nested tuple value produced by the strategy of
+/// [`__proptest_strats!`] back into the test's named bindings.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_unbind {
+    ($vals:ident;) => { let () = $vals; };
+    ($vals:ident; mut $var:ident in $strat:expr) => {
+        let (mut $var, _) = $vals;
     };
-    ($rng:ident; $var:ident in $strat:expr, $($rest:tt)*) => {
-        let $var = $crate::strategy::Strategy::sample(&($strat), &mut $rng);
-        $crate::__proptest_bind!{ $rng; $($rest)* }
+    ($vals:ident; mut $var:ident in $strat:expr, $($rest:tt)*) => {
+        let (mut $var, $vals) = $vals;
+        $crate::__proptest_unbind!{ $vals; $($rest)* }
+    };
+    ($vals:ident; $var:ident in $strat:expr) => {
+        let ($var, _) = $vals;
+    };
+    ($vals:ident; $var:ident in $strat:expr, $($rest:tt)*) => {
+        let ($var, $vals) = $vals;
+        $crate::__proptest_unbind!{ $vals; $($rest)* }
     };
 }
 
@@ -350,6 +527,60 @@ mod tests {
             assert!((2..7).contains(&v.len()));
             assert!(v.iter().all(|&x| (0..5).contains(&x)));
         }
+    }
+
+    #[test]
+    fn int_shrink_halves_toward_start() {
+        let s = 0i64..100;
+        assert_eq!(s.shrink(&57), vec![0, 28, 56]);
+        assert_eq!(s.shrink(&0), Vec::<i64>::new());
+        let neg = -10i64..10;
+        assert_eq!(neg.shrink(&-10), Vec::<i64>::new());
+        assert!(neg.shrink(&6).contains(&-2));
+        assert!(Strategy::shrink(&any::<bool>(), &true).contains(&false));
+        assert!(Strategy::shrink(&any::<bool>(), &false).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_reduces_length_and_elements() {
+        let s = prop::collection::vec(0i64..10, 1..9);
+        let cands = s.shrink(&vec![5, 6, 7, 8]);
+        assert!(cands.contains(&vec![5, 6]), "{cands:?}"); // halving
+        assert!(cands.contains(&vec![5, 6, 7]), "{cands:?}"); // drop last
+        assert!(cands.contains(&vec![0, 6, 7, 8]), "{cands:?}"); // element
+        assert!(s.shrink(&vec![0]).is_empty());
+    }
+
+    #[test]
+    fn shrink_failure_finds_local_minimum() {
+        // Property: x < 10. Failing sample 57 must shrink to exactly 10.
+        let strat = (0i64..100, ());
+        let run = |(x, ()): (i64, ())| {
+            if x >= 10 {
+                Err(format!("{x} too big"))
+            } else {
+                Ok(())
+            }
+        };
+        let (min, msg) = crate::shrink_failure(&strat, (57, ()), &run, "seed".into());
+        assert_eq!(min.0, 10);
+        assert_eq!(msg, "10 too big");
+    }
+
+    #[test]
+    fn failing_property_reports_minimal_input() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            fn sums_stay_small(data in prop::collection::vec(0i64..100, 1..9)) {
+                prop_assert!(data.iter().sum::<i64>() < 50);
+            }
+        }
+        let err = std::panic::catch_unwind(sums_stay_small).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        assert!(msg.contains("minimal failing input"), "{msg}");
+        // The greedy shrinker lands on a single-element vector whose value
+        // sits exactly at the property boundary.
+        assert!(msg.contains("[50]"), "{msg}");
     }
 
     proptest! {

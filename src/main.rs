@@ -2,8 +2,16 @@
 //!
 //! ```text
 //! uc run <file.uc> [-D NAME=VALUE]...     compile and run on the simulated CM
-//! uc check <file.uc>                      parse + semantic analysis only
+//! uc check <file.uc> [options]            parse, sema + static-analysis lints
 //! uc emit-cstar <file.uc>                 print the C* translation (§5)
+//! ```
+//!
+//! `check` options:
+//!
+//! ```text
+//! --deny warnings|UC1xx   escalate all warnings, or one lint code, to errors
+//! --allow UC1xx           suppress one lint code
+//! --format text|json      diagnostic output format (default text)
 //! ```
 //!
 //! `run` executes `main()` and then prints every global scalar and array
@@ -12,6 +20,7 @@
 
 use std::process::ExitCode;
 
+use uc::lang::analysis::{self, LintConfig};
 use uc::lang::{ExecConfig, Program};
 
 fn main() -> ExitCode {
@@ -19,11 +28,84 @@ fn main() -> ExitCode {
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
-            eprintln!("usage: uc <run|check|emit-cstar> <file.uc> [-D NAME=VALUE]...");
+            eprintln!("usage: uc <run|check|emit-cstar> <file.uc> [options]");
             return ExitCode::FAILURE;
         }
     };
-    let Some(path) = rest.first() else {
+    let mut path: Option<&str> = None;
+    let mut defines: Vec<(String, i64)> = Vec::new();
+    let mut cfg = LintConfig::default();
+    let mut format = Format::Text;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-D" => {
+                let Some(spec) = it.next() else {
+                    eprintln!("error: -D needs NAME=VALUE");
+                    return ExitCode::FAILURE;
+                };
+                match spec.split_once('=') {
+                    Some((n, v)) => match v.parse::<i64>() {
+                        Ok(v) => defines.push((n.to_string(), v)),
+                        Err(_) => {
+                            eprintln!("error: -D {spec}: value must be an integer");
+                            return ExitCode::FAILURE;
+                        }
+                    },
+                    None => {
+                        eprintln!("error: -D {spec}: expected NAME=VALUE");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--deny" if cmd == "check" => {
+                let Some(what) = it.next() else {
+                    eprintln!("error: --deny needs `warnings` or a lint code");
+                    return ExitCode::FAILURE;
+                };
+                if let Err(e) = cfg.deny(what) {
+                    eprintln!("error: --deny {what}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--allow" if cmd == "check" => {
+                let Some(what) = it.next() else {
+                    eprintln!("error: --allow needs a lint code");
+                    return ExitCode::FAILURE;
+                };
+                if let Err(e) = cfg.allow(what) {
+                    eprintln!("error: --allow {what}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            "--format" if cmd == "check" => {
+                let Some(f) = it.next() else {
+                    eprintln!("error: --format needs `text` or `json`");
+                    return ExitCode::FAILURE;
+                };
+                format = match f.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => {
+                        eprintln!("error: --format {other}: expected `text` or `json`");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            other if other.starts_with('-') => {
+                eprintln!("error: unknown option {other}");
+                return ExitCode::FAILURE;
+            }
+            file => {
+                if let Some(first) = path {
+                    eprintln!("error: multiple input files ({first}, {file})");
+                    return ExitCode::FAILURE;
+                }
+                path = Some(file);
+            }
+        }
+    }
+    let Some(path) = path else {
         eprintln!("error: missing input file");
         return ExitCode::FAILURE;
     };
@@ -34,34 +116,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut defines: Vec<(String, i64)> = Vec::new();
-    let mut it = rest[1..].iter();
-    while let Some(a) = it.next() {
-        if a == "-D" {
-            let Some(spec) = it.next() else {
-                eprintln!("error: -D needs NAME=VALUE");
-                return ExitCode::FAILURE;
-            };
-            match spec.split_once('=') {
-                Some((n, v)) => match v.parse::<i64>() {
-                    Ok(v) => defines.push((n.to_string(), v)),
-                    Err(_) => {
-                        eprintln!("error: -D {spec}: value must be an integer");
-                        return ExitCode::FAILURE;
-                    }
-                },
-                None => {
-                    eprintln!("error: -D {spec}: expected NAME=VALUE");
-                    return ExitCode::FAILURE;
-                }
-            }
-        } else {
-            eprintln!("error: unknown option {a}");
-            return ExitCode::FAILURE;
-        }
-    }
     let define_refs: Vec<(&str, i64)> =
         defines.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+
+    if cmd == "check" {
+        return check(path, &src, &define_refs, &cfg, format);
+    }
 
     let program = Program::compile_with_defines(&src, ExecConfig::default(), &define_refs);
     let mut program = match program {
@@ -73,10 +133,6 @@ fn main() -> ExitCode {
     };
 
     match cmd {
-        "check" => {
-            println!("{path}: ok");
-            ExitCode::SUCCESS
-        }
         "emit-cstar" => {
             print!("{}", program.emit_cstar());
             ExitCode::SUCCESS
@@ -93,6 +149,38 @@ fn main() -> ExitCode {
             eprintln!("error: unknown command `{other}` (run | check | emit-cstar)");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+/// `uc check`: full front end plus every lint pass; exit failure iff the
+/// diagnostics contain an error (parse/sema, or a denied lint).
+fn check(
+    path: &str,
+    src: &str,
+    defines: &[(&str, i64)],
+    cfg: &LintConfig,
+    format: Format,
+) -> ExitCode {
+    let diags = analysis::check_source(src, defines, cfg);
+    match format {
+        Format::Json => println!("{}", analysis::diagnostics_to_json(&diags)),
+        Format::Text => {
+            eprint!("{diags}");
+            if !diags.has_errors() {
+                println!("{path}: ok ({} warnings)", diags.warning_count());
+            }
+        }
+    }
+    if diags.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
 

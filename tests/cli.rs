@@ -83,6 +83,117 @@ fn runtime_errors_are_reported() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("bounds"));
 }
 
+/// A program with one deliberate UC101 race for the lint-flag tests.
+const RACY: &str = r#"
+    index_set I:i = {0..7};
+    int s;
+    main() { par (I) s = i; }
+"#;
+
+#[test]
+fn check_reports_lints_as_warnings() {
+    let path = write_temp("uc_cli_racy.uc", RACY);
+    let out = uc().args(["check", path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success(), "plain warnings must not fail the check");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("warning[UC101]"), "{stderr}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok (1 warnings)"));
+}
+
+#[test]
+fn deny_warnings_fails_the_check() {
+    let path = write_temp("uc_cli_racy_deny.uc", RACY);
+    let out = uc()
+        .args(["check", "--deny", "warnings", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error[UC101]"));
+}
+
+#[test]
+fn allow_silences_a_lint_code() {
+    let path = write_temp("uc_cli_racy_allow.uc", RACY);
+    let out = uc()
+        .args(["check", "--allow", "UC101", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("UC101"));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok (0 warnings)"));
+}
+
+#[test]
+fn unknown_lint_code_is_rejected() {
+    let path = write_temp("uc_cli_racy_unknown.uc", RACY);
+    let out = uc()
+        .args(["check", "--deny", "UC999", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown lint code"));
+}
+
+/// `--format json` output must round-trip through the shared JSON module
+/// the benches use, with the documented fields intact.
+#[test]
+fn json_format_round_trips() {
+    use uc_bench::json::parse_value;
+
+    let path = write_temp("uc_cli_racy_json.uc", RACY);
+    let out = uc()
+        .args(["check", "--format", "json", path.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let value = parse_value(stdout.trim()).expect("valid JSON");
+    let diags = value.as_array().expect("top-level array");
+    assert_eq!(diags.len(), 1);
+    let d = &diags[0];
+    assert_eq!(d.get("code").and_then(|v| v.as_str()), Some("UC101"));
+    assert_eq!(d.get("severity").and_then(|v| v.as_str()), Some("warning"));
+    assert_eq!(d.get("line").and_then(|v| v.as_u64()), Some(4));
+    assert!(d
+        .get("message")
+        .and_then(|v| v.as_str())
+        .is_some_and(|m| m.contains("race")));
+}
+
+/// The committed examples are the dogfood corpus: every one must stay
+/// clean under `--deny warnings` and actually execute. CI runs the same
+/// loop against the release binary.
+#[test]
+fn examples_stay_lint_clean_and_run() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/uc");
+    let mut seen = 0;
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_none_or(|e| e != "uc") {
+            continue;
+        }
+        let out = uc()
+            .args(["check", "--deny", "warnings", path.to_str().unwrap()])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}: {}",
+            path.display(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let out = uc().args(["run", path.to_str().unwrap()]).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}: {}",
+            path.display(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        seen += 1;
+    }
+    assert!(seen >= 3, "expected at least 3 UC examples, found {seen}");
+}
+
 #[test]
 fn usage_errors() {
     let out = uc().output().unwrap();

@@ -1,0 +1,15 @@
+// expect:
+// Four single-axis NEWS shifts: the executor keeps these off the router,
+// and the comm lint has nothing to say.
+#define N 8
+index_set I:i = {0..N-1}, J:j = I;
+float u[N][N], v[N][N];
+int t;
+main() {
+    par (I, J) u[i][j] = i * N + j;
+    for (t = 0; t < 4; t = t + 1) {
+        par (I, J) st (i > 0 && i < N-1 && j > 0 && j < N-1)
+            v[i][j] = (u[i-1][j] + u[i+1][j] + u[i][j-1] + u[i][j+1]) / 4.0;
+        par (I, J) u[i][j] = v[i][j];
+    }
+}

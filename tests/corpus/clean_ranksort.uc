@@ -1,0 +1,11 @@
+// expect:
+// Rank sort from the paper's §3: every pass is clean on it. The rank
+// reduction combines with $+, so the shared-location rule is satisfied.
+#define N 8
+index_set I:i = {0..N-1}, J:j = I;
+int a[N], rank[N], sorted[N];
+main() {
+    par (I) a[i] = (N - i) * 3 % 17;
+    par (I) rank[i] = $+(J st (a[j] < a[i] || (a[j] == a[i] && j < i)) 1);
+    par (I) sorted[rank[i]] = a[i];
+}

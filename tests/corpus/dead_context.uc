@@ -1,0 +1,10 @@
+// expect: UC120@8 UC120@9
+// Constant-false predicates select the empty context: the guarded
+// statements can never execute (§3.4).
+index_set I:i = {0..7};
+int a[8];
+main() {
+    int x;
+    x = 0; if (1 > 2) x = 1;
+    par (I) st (0) a[i] = x;
+}

@@ -1,0 +1,9 @@
+// expect: UC131@6
+// The first store to `x` is overwritten before anything reads it.
+int s;
+main() {
+    int x;
+    x = 1;
+    x = 2;
+    s = x;
+}

@@ -1,0 +1,8 @@
+// expect: UC110@7
+// A diagonal shift displaces two axes at once, so the executor routes it
+// through the general router; two NEWS shifts would be cheaper (§4).
+index_set I:i = {0..7}, J:j = I;
+int a[8][8], b[8][8];
+main() {
+    par (I, J) b[i][j] = a[i-1][j-1];
+}

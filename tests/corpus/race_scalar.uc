@@ -1,0 +1,8 @@
+// expect: UC101@7
+// Every enabled element stores its own index into the one global `s`:
+// a write-write race under the §3.4 single-assignment rule.
+index_set I:i = {0..7};
+int s;
+main() {
+    par (I) s = i;
+}

@@ -1,0 +1,8 @@
+// expect: UC111@7
+// `a` has 16 elements laid out over an 8-element iteration space, so the
+// identity access is misaligned and takes the general router.
+index_set I:i = {0..7};
+int a[16], b[8];
+main() {
+    par (I) b[i] = a[i];
+}

@@ -1,0 +1,8 @@
+// expect: UC111@7
+// `a[j][i]` is a regular access whose axes are transposed relative to the
+// iteration space: a `map` declaration could make it local or NEWS (§4).
+index_set I:i = {0..7}, J:j = I;
+int a[8][8], b[8][8];
+main() {
+    par (I, J) b[i][j] = a[j][i];
+}

@@ -1,0 +1,12 @@
+// expect: UC132@7
+// `orphan` is never reached from `main`, directly or transitively.
+int s;
+int used() {
+    return 1;
+}
+int orphan() {
+    return 2;
+}
+main() {
+    s = used();
+}

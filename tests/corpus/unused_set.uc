@@ -1,0 +1,8 @@
+// expect: UC121@4
+// `J` allocates a virtual-processor set that no statement ever activates.
+index_set I:i = {0..7};
+index_set J:jj = {0..3};
+int a[8];
+main() {
+    par (I) a[i] = 1;
+}

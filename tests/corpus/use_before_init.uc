@@ -1,0 +1,7 @@
+// expect: UC130@6
+// `x` is read before any path has assigned it.
+int s;
+main() {
+    int x;
+    s = x + 1;
+}

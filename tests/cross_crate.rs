@@ -192,3 +192,18 @@ fn write_then_run_external_inputs() {
     p.run().unwrap();
     assert_eq!(p.read_int("s"), Some(42));
 }
+
+#[test]
+fn committed_bench_baseline_parses_as_a_figure() {
+    // `BENCH_sim_hotpaths.json` is the committed hot-path baseline; it
+    // must stay readable by the same JSON module the benches emit with.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_sim_hotpaths.json");
+    let text = std::fs::read_to_string(path).unwrap();
+    let fig = uc_bench::json::from_str(&text).unwrap();
+    assert_eq!(fig.id, "sim_hotpaths");
+    assert_eq!(fig.series.len(), 2);
+    for s in &fig.series {
+        assert_eq!(s.points.len(), 3, "{} baseline points", s.label);
+        assert!(s.points.iter().all(|&(_, ns)| ns > 0));
+    }
+}

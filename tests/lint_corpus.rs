@@ -1,0 +1,116 @@
+//! Golden lint corpus.
+//!
+//! Every `tests/corpus/*.uc` file declares the exact findings `uc check`
+//! must report in a leading `// expect: CODE@LINE ...` header (an empty
+//! list marks a program every pass must stay silent on). The harness
+//! runs the full pipeline — lex, parse, sema, map interpretation, all
+//! lint passes — and compares code + line against the header, so lint
+//! spans are pinned by the corpus, not just by unit tests.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use uc::lang::analysis::{self, LintConfig, LINTS};
+
+fn corpus() -> Vec<(PathBuf, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .expect("tests/corpus must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "uc"))
+        .collect();
+    files.sort();
+    files
+        .into_iter()
+        .map(|p| {
+            let src = fs::read_to_string(&p).expect("readable corpus file");
+            (p, src)
+        })
+        .collect()
+}
+
+/// The `CODE@LINE` entries from the `// expect:` header, sorted.
+fn expectations(path: &Path, src: &str) -> Vec<String> {
+    let first = src.lines().next().unwrap_or("");
+    let Some(rest) = first.strip_prefix("// expect:") else {
+        panic!("{} is missing its `// expect:` header", path.display());
+    };
+    let mut out: Vec<String> = rest.split_whitespace().map(str::to_string).collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn corpus_findings_match_headers() {
+    let files = corpus();
+    assert!(files.len() >= 10, "corpus shrank to {} files", files.len());
+    for (path, src) in &files {
+        let expected = expectations(path, src);
+        let diags = analysis::check_source(src, &[], &LintConfig::default());
+        assert!(
+            !diags.has_errors(),
+            "{} must be a valid program:\n{diags}",
+            path.display()
+        );
+        let mut got: Vec<String> = diags
+            .items
+            .iter()
+            .filter_map(|d| d.code.map(|c| format!("{c}@{}", d.span.line)))
+            .collect();
+        got.sort();
+        assert_eq!(got, expected, "{} findings diverge from header", path.display());
+    }
+}
+
+#[test]
+fn corpus_covers_every_lint_code() {
+    let mut covered: Vec<&str> = Vec::new();
+    for (path, src) in &corpus() {
+        for entry in expectations(path, src) {
+            let code = entry.split('@').next().unwrap().to_string();
+            let info = analysis::lint(&code)
+                .unwrap_or_else(|| panic!("{}: unknown code {code}", path.display()));
+            covered.push(info.code);
+        }
+    }
+    for lint in LINTS {
+        assert!(
+            covered.contains(&lint.code),
+            "no positive corpus program triggers {} ({})",
+            lint.code,
+            lint.name
+        );
+    }
+}
+
+#[test]
+fn deny_warnings_fails_positive_and_passes_clean_programs() {
+    let mut cfg = LintConfig::default();
+    cfg.deny("warnings").unwrap();
+    for (path, src) in &corpus() {
+        let expected = expectations(path, src);
+        let diags = analysis::check_source(src, &[], &cfg);
+        assert_eq!(
+            diags.has_errors(),
+            !expected.is_empty(),
+            "{} under --deny warnings",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn allowing_a_code_silences_it() {
+    let (path, src) = corpus()
+        .into_iter()
+        .find(|(p, _)| p.ends_with("race_scalar.uc"))
+        .expect("race_scalar.uc in corpus");
+    let mut cfg = LintConfig::default();
+    cfg.allow("UC101").unwrap();
+    let diags = analysis::check_source(&src, &[], &cfg);
+    assert!(
+        diags.items.iter().all(|d| d.code != Some("UC101")),
+        "{}: UC101 still reported under --allow UC101",
+        path.display()
+    );
+}
