@@ -273,7 +273,7 @@ impl Machine {
                     Err(CmError::TypeMismatch { expected: ElemType::Bool, found: ElemType::Int })
                 } else {
                     if matches!(op, BinOp::Div | BinOp::Mod)
-                        && x.iter().zip(y).zip(mask).any(|((_, &q), &m)| m && q == 0)
+                        && par::any2(y, mask, |&q, &m| m && q == 0)
                     {
                         return Err(CmError::DivideByZero);
                     }
@@ -361,9 +361,9 @@ impl Machine {
         let fa = &self.field(a)?.data;
         let fb = &self.field(b)?.data;
         let ne = match (fa, fb) {
-            (FieldData::I64(x), FieldData::I64(y)) => x != y,
-            (FieldData::F64(x), FieldData::F64(y)) => x != y,
-            (FieldData::Bool(x), FieldData::Bool(y)) => x != y,
+            (FieldData::I64(x), FieldData::I64(y)) => par::any2(x, y, |p, q| p != q),
+            (FieldData::F64(x), FieldData::F64(y)) => par::any2(x, y, |p, q| p != q),
+            (FieldData::Bool(x), FieldData::Bool(y)) => par::any2(x, y, |p, q| p != q),
             (x, y) => {
                 return Err(CmError::TypeMismatch {
                     expected: x.elem_type(),
@@ -381,9 +381,9 @@ impl Machine {
         let size = self.same_vp(&[dst])?;
         let field = self.field_mut(dst)?;
         match (&mut field.data, imm) {
-            (FieldData::I64(v), Scalar::Int(x)) => v.iter_mut().for_each(|e| *e = x),
-            (FieldData::F64(v), Scalar::Float(x)) => v.iter_mut().for_each(|e| *e = x),
-            (FieldData::Bool(v), Scalar::Bool(x)) => v.iter_mut().for_each(|e| *e = x),
+            (FieldData::I64(v), Scalar::Int(x)) => par::fill(v, x),
+            (FieldData::F64(v), Scalar::Float(x)) => par::fill(v, x),
+            (FieldData::Bool(v), Scalar::Bool(x)) => par::fill(v, x),
             (d, s) => {
                 return Err(CmError::TypeMismatch {
                     expected: d.elem_type(),

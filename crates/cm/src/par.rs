@@ -1,15 +1,68 @@
 //! Host-side data-parallel kernels.
 //!
-//! The simulator executes elementwise SIMD instructions with rayon when the
-//! VP set is large enough to amortise fork/join overhead, and sequentially
-//! otherwise. Every kernel is a pure elementwise map, so the results (and
-//! the cycle clock, which is charged *before* execution) are identical for
-//! any thread count — simulations stay deterministic.
+//! The simulator executes elementwise SIMD instructions on rayon's
+//! work-stealing pool when the VP set is large enough to amortise
+//! fork/join overhead, and sequentially otherwise (the pool honours the
+//! `UC_THREADS` environment variable; see the `rayon` shim). Every kernel
+//! here is either a pure elementwise map — identical for any thread count
+//! by construction — or an order-sensitive fold (scan/reduce building
+//! blocks) that is chunked by [`chunk_ranges`], a pure function of the
+//! element count alone. Chunk layout never depends on the thread count,
+//! so even float folds, which are sensitive to association order, are
+//! bit-identical under any `UC_THREADS` — simulations stay deterministic.
+//! (The cycle clock is charged *before* execution, so cost accounting is
+//! thread-count-independent too.)
 
 use rayon::prelude::*;
+use std::ops::Range;
 
 /// Below this many elements the sequential path is used.
 pub const PAR_THRESHOLD: usize = 1 << 13;
+
+/// Smallest number of elements one pool job processes (the
+/// `with_min_len` chunking hint on every parallel pipeline here).
+pub const CHUNK_MIN: usize = 1 << 10;
+
+/// Upper bound on the number of chunks [`chunk_ranges`] produces. Bounds
+/// the sequential chunk-combine step of scans/reductions while leaving
+/// enough chunks for every realistic pool size to balance load.
+pub const MAX_CHUNKS: usize = 64;
+
+/// Partition `0..len` into contiguous chunks of at least [`CHUNK_MIN`]
+/// elements (at most [`MAX_CHUNKS`] chunks).
+///
+/// The partition depends on `len` **only** — never on the thread count —
+/// so order-sensitive folds over these chunks (float scans/reductions)
+/// associate identically under any `UC_THREADS` setting.
+pub fn chunk_ranges(len: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunk = len.div_ceil(MAX_CHUNKS).max(CHUNK_MIN);
+    let mut out = Vec::with_capacity(len.div_ceil(chunk));
+    let mut start = 0;
+    while start < len {
+        let end = (start + chunk).min(len);
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+/// Apply `f` to every chunk of `0..len` in parallel, collecting per-chunk
+/// results in chunk order. The chunk layout is [`chunk_ranges`]'s, so the
+/// result vector is deterministic for any thread count.
+pub fn map_chunks<O, F>(len: usize, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(Range<usize>) -> O + Sync,
+{
+    let ranges = chunk_ranges(len);
+    if ranges.len() <= 1 || len < PAR_THRESHOLD {
+        return ranges.into_iter().map(f).collect();
+    }
+    ranges.par_iter().with_min_len(1).map(|r| f(r.clone())).collect()
+}
 
 /// Elementwise map of one slice.
 pub fn map1<A, O, F>(a: &[A], f: F) -> Vec<O>
@@ -19,7 +72,7 @@ where
     F: Fn(&A) -> O + Sync + Send,
 {
     if a.len() >= PAR_THRESHOLD {
-        a.par_iter().map(&f).collect()
+        a.par_iter().with_min_len(CHUNK_MIN).map(&f).collect()
     } else {
         a.iter().map(&f).collect()
     }
@@ -37,7 +90,11 @@ where
 {
     assert_eq!(a.len(), b.len(), "map2 length mismatch");
     if a.len() >= PAR_THRESHOLD {
-        a.par_iter().zip(b.par_iter()).map(|(x, y)| f(x, y)).collect()
+        a.par_iter()
+            .zip(b.par_iter())
+            .with_min_len(CHUNK_MIN)
+            .map(|(x, y)| f(x, y))
+            .collect()
     } else {
         a.iter().zip(b.iter()).map(|(x, y)| f(x, y)).collect()
     }
@@ -58,6 +115,7 @@ where
         a.par_iter()
             .zip(b.par_iter())
             .zip(c.par_iter())
+            .with_min_len(CHUNK_MIN)
             .map(|((x, y), z)| f(x, y, z))
             .collect()
     } else {
@@ -76,7 +134,7 @@ where
     F: Fn(usize) -> O + Sync + Send,
 {
     if len >= PAR_THRESHOLD {
-        (0..len).into_par_iter().map(&f).collect()
+        (0..len).into_par_iter().with_min_len(CHUNK_MIN).map(&f).collect()
     } else {
         (0..len).map(&f).collect()
     }
@@ -90,6 +148,7 @@ pub fn commit_masked<T: Copy + Send + Sync>(dst: &mut [T], src: &[T], mask: &[bo
         dst.par_iter_mut()
             .zip(src.par_iter())
             .zip(mask.par_iter())
+            .with_min_len(CHUNK_MIN)
             .for_each(|((d, s), &m)| {
                 if m {
                     *d = *s;
@@ -102,6 +161,115 @@ pub fn commit_masked<T: Copy + Send + Sync>(dst: &mut [T], src: &[T], mask: &[bo
             }
         }
     }
+}
+
+/// Masked gather: `dst[i] = src[addrs[i]]` wherever `mask[i]` — the
+/// router's **get** inner loop. Addresses at active positions must be in
+/// bounds (the router validates before calling).
+pub fn gather_masked<T: Copy + Send + Sync>(
+    dst: &mut [T],
+    src: &[T],
+    addrs: &[i64],
+    mask: &[bool],
+) {
+    assert_eq!(dst.len(), addrs.len(), "gather address length mismatch");
+    assert_eq!(dst.len(), mask.len(), "gather mask length mismatch");
+    if dst.len() >= PAR_THRESHOLD {
+        dst.par_iter_mut()
+            .zip(addrs.par_iter())
+            .zip(mask.par_iter())
+            .with_min_len(CHUNK_MIN)
+            .for_each(|((d, &a), &m)| {
+                if m {
+                    *d = src[a as usize];
+                }
+            });
+    } else {
+        for ((d, &a), &m) in dst.iter_mut().zip(addrs).zip(mask) {
+            if m {
+                *d = src[a as usize];
+            }
+        }
+    }
+}
+
+/// Unmasked fill: `dst[i] = value` everywhere.
+pub fn fill<T: Copy + Send + Sync>(dst: &mut [T], value: T) {
+    if dst.len() >= PAR_THRESHOLD {
+        dst.par_iter_mut().with_min_len(CHUNK_MIN).for_each(|d| *d = value);
+    } else {
+        dst.iter_mut().for_each(|d| *d = value);
+    }
+}
+
+/// Parallel existence test over two slices: does `f(a[i], b[i])` hold
+/// anywhere? The boolean answer is chunking-independent, so callers that
+/// need a *deterministic witness* (e.g. the first offending router
+/// address) re-scan sequentially after a `true` answer.
+pub fn any2<A, B, F>(a: &[A], b: &[B], f: F) -> bool
+where
+    A: Sync,
+    B: Sync,
+    F: Fn(&A, &B) -> bool + Sync,
+{
+    assert_eq!(a.len(), b.len(), "any2 length mismatch");
+    if a.len() < PAR_THRESHOLD {
+        return a.iter().zip(b).any(|(x, y)| f(x, y));
+    }
+    map_chunks(a.len(), |r| r.into_iter().any(|i| f(&a[i], &b[i])))
+        .into_iter()
+        .any(|hit| hit)
+}
+
+/// Parallel fold of the `mask`-active elements of `v` with an associative
+/// `fold`, starting from `id`: per-chunk folds run on the pool, then the
+/// per-chunk results are folded in chunk order. Chunk layout is
+/// [`chunk_ranges`], so the association — and hence even float results —
+/// is identical for any thread count.
+pub fn fold_active<T, F>(v: &[T], mask: &[bool], id: T, fold: F) -> T
+where
+    T: Copy + Send + Sync,
+    F: Fn(T, T) -> T + Sync,
+{
+    assert_eq!(v.len(), mask.len(), "fold mask length mismatch");
+    if v.len() < PAR_THRESHOLD {
+        return v
+            .iter()
+            .zip(mask)
+            .filter(|(_, &m)| m)
+            .fold(id, |acc, (&x, _)| fold(acc, x));
+    }
+    map_chunks(v.len(), |r| {
+        r.into_iter()
+            .filter(|&i| mask[i])
+            .fold(id, |acc, i| fold(acc, v[i]))
+    })
+    .into_iter()
+    .fold(id, &fold)
+}
+
+/// Index of the first `mask`-active element, scanning chunks in parallel.
+pub fn first_active(mask: &[bool]) -> Option<usize> {
+    if mask.len() < PAR_THRESHOLD {
+        return mask.iter().position(|&m| m);
+    }
+    map_chunks(mask.len(), |r| r.into_iter().find(|&i| mask[i]))
+        .into_iter()
+        .flatten()
+        .next()
+}
+
+/// Split `data` into the mutable chunk slices of [`chunk_ranges`], for
+/// parallel per-chunk passes that write disjoint regions.
+pub fn chunk_slices_mut<'a, T>(data: &'a mut [T], ranges: &[Range<usize>]) -> Vec<&'a mut [T]> {
+    let mut rest = data;
+    let mut out = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        let (head, tail) = rest.split_at_mut(r.len());
+        out.push(head);
+        rest = tail;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -143,5 +311,70 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn map2_length_mismatch_panics() {
         map2(&[1], &[1, 2], |a: &i32, b: &i32| a + b);
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for len in [0usize, 1, CHUNK_MIN - 1, CHUNK_MIN, PAR_THRESHOLD, 1 << 16, (1 << 16) + 7] {
+            let ranges = chunk_ranges(len);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "contiguous at len={len}");
+                assert!(r.end > r.start);
+                next = r.end;
+            }
+            assert_eq!(next, len, "covers 0..len for len={len}");
+            assert!(ranges.len() <= MAX_CHUNKS);
+        }
+    }
+
+    #[test]
+    fn gather_and_fill() {
+        let mut d = vec![0i64; 4];
+        gather_masked(&mut d, &[10, 20, 30], &[2, 0, 1, 2], &[true, true, false, true]);
+        assert_eq!(d, vec![30, 10, 0, 30]);
+        fill(&mut d, 7);
+        assert_eq!(d, vec![7; 4]);
+    }
+
+    #[test]
+    fn any2_small_and_large() {
+        let a: Vec<i64> = (0..(PAR_THRESHOLD as i64 + 3)).collect();
+        let b = vec![0i64; a.len()];
+        assert!(any2(&a, &b, |&x, _| x == PAR_THRESHOLD as i64));
+        assert!(!any2(&a, &b, |&x, _| x < 0));
+        assert!(any2(&a[..3], &b[..3], |&x, &y| x > y));
+    }
+
+    #[test]
+    fn fold_active_matches_sequential() {
+        let n = PAR_THRESHOLD + 123;
+        let v: Vec<i64> = (0..n as i64).collect();
+        let mask: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
+        let par = fold_active(&v, &mask, 0i64, |a, b| a.wrapping_add(b));
+        let seq: i64 = v.iter().zip(&mask).filter(|(_, &m)| m).map(|(&x, _)| x).sum();
+        assert_eq!(par, seq);
+        assert_eq!(fold_active(&v, &vec![false; n], i64::MAX, i64::min), i64::MAX);
+    }
+
+    #[test]
+    fn first_active_finds_first() {
+        let n = PAR_THRESHOLD + 50;
+        let mut mask = vec![false; n];
+        assert_eq!(first_active(&mask), None);
+        mask[n - 2] = true;
+        assert_eq!(first_active(&mask), Some(n - 2));
+        mask[3] = true;
+        assert_eq!(first_active(&mask), Some(3));
+        assert_eq!(first_active(&[false, true]), Some(1));
+    }
+
+    #[test]
+    fn chunk_slices_mut_partition() {
+        let mut data: Vec<u32> = (0..10).collect();
+        let ranges = vec![0..3, 3..7, 7..10];
+        let slices = chunk_slices_mut(&mut data, &ranges);
+        assert_eq!(slices.len(), 3);
+        assert_eq!(slices[1], &[3, 4, 5, 6]);
     }
 }

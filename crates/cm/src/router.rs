@@ -14,7 +14,25 @@
 use crate::cost::OpClass;
 use crate::field::{FieldData, FieldId};
 use crate::machine::Machine;
+use crate::par;
 use crate::{CmError, Result};
+
+/// Validate that every *active* address targets `size`. The existence
+/// test fans out on the thread pool; on failure the first offender is
+/// re-found sequentially so the reported address never depends on the
+/// thread count.
+fn check_addrs(addrs: &[i64], mask: &[bool], size: usize) -> Result<()> {
+    let out_of_range = |a: i64| a < 0 || a as usize >= size;
+    if par::any2(addrs, mask, |&a, &m| m && out_of_range(a)) {
+        for (&a, &m) in addrs.iter().zip(mask) {
+            if m && out_of_range(a) {
+                return Err(CmError::AddressOutOfRange { addr: a, size });
+            }
+        }
+        unreachable!("parallel and sequential bounds scans disagree");
+    }
+    Ok(())
+}
 
 /// How colliding messages to one destination VP are combined.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,16 +84,12 @@ impl Machine {
         }
         let addrs = self.int_data(addr)?.to_vec();
         let mask = self.vp(src.vp)?.context.current().to_vec();
+        check_addrs(&addrs, &mask, dst_size)?;
 
-        for (i, &a) in addrs.iter().enumerate() {
-            if mask[i] && (a < 0 || a as usize >= dst_size) {
-                return Err(CmError::AddressOutOfRange { addr: a, size: dst_size });
-            }
-        }
-
-        // The router is simulated sequentially in sender order: messages
-        // per instruction are few (≤ VP-set size) and determinism matters
-        // more than host-side parallelism here.
+        // Delivery is simulated sequentially in sender order: combining
+        // order is part of the documented semantics (`Overwrite` = last
+        // sender wins), so the combining loop must not be parallelised —
+        // only the address validation above fans out.
         let mut conflict = false;
         macro_rules! deliver {
             ($srcvec:expr, $dstvariant:ident, $combine_fn:expr) => {{
@@ -141,22 +155,16 @@ impl Machine {
         }
         let addrs = self.int_data(addr)?.to_vec();
         let mask = self.vp(dst.vp)?.context.current().to_vec();
-        for (i, &a) in addrs.iter().enumerate() {
-            if mask[i] && (a < 0 || a as usize >= src_size) {
-                return Err(CmError::AddressOutOfRange { addr: a, size: src_size });
-            }
-        }
+        check_addrs(&addrs, &mask, src_size)?;
 
+        // Unlike send, the gather has no collisions — every destination
+        // reads independently — so it fans out on the thread pool.
         macro_rules! gather {
             ($srcvec:expr, $variant:ident) => {{
                 let values = $srcvec.clone();
                 let field = self.field_mut(dst)?;
                 let FieldData::$variant(d) = &mut field.data else { unreachable!() };
-                for i in 0..dst_size {
-                    if mask[i] {
-                        d[i] = values[addrs[i] as usize];
-                    }
-                }
+                par::gather_masked(d, &values, &addrs, &mask);
             }};
         }
         match &self.field(src)?.data.clone() {

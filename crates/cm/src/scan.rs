@@ -6,10 +6,22 @@
 //! and return the operator's identity when no VP is active — exactly the
 //! paper's rule ("the identity value is returned when the reduction
 //! operator is applied to an empty set of operands").
+//!
+//! Above `par::PAR_THRESHOLD` both primitives run on the host thread
+//! pool: reductions fold [`par::chunk_ranges`] chunks in parallel and
+//! combine the per-chunk results in chunk order, and unsegmented scans use
+//! the classic two-pass blocked algorithm (parallel per-chunk folds, a
+//! sequential exclusive scan of the chunk sums, then a parallel per-chunk
+//! prefix pass seeded with each chunk's carry). The chunk layout is a pure
+//! function of the VP-set size, so results — including float scans, which
+//! are sensitive to association order — are bit-identical for any
+//! `UC_THREADS` setting. Segmented scans stay sequential (segment
+//! restarts make the carry non-uniform and they are rare in practice).
 
 use crate::cost::OpClass;
 use crate::field::{ElemType, FieldData, FieldId};
 use crate::machine::Machine;
+use crate::par;
 use crate::{CmError, Result, Scalar};
 
 /// The UC reduction operators of §3.2 of the paper.
@@ -127,31 +139,10 @@ impl Machine {
         macro_rules! scan_impl {
             ($vec:expr, $variant:ident, $id:expr, $fold:expr) => {{
                 let v = $vec.clone();
-                let mut out = v.clone();
-                let mut acc = $id;
-                for i in 0..size {
-                    if let Some(ref sg) = segs {
-                        if sg[i] {
-                            acc = $id;
-                        }
-                    }
-                    if mask[i] {
-                        if inclusive {
-                            acc = $fold(acc, v[i]);
-                            out[i] = acc;
-                        } else {
-                            out[i] = acc;
-                            acc = $fold(acc, v[i]);
-                        }
-                    }
-                }
+                let out = scan_values(&v, &mask, segs.as_deref(), $id, $fold, inclusive);
                 let field = self.field_mut(dst)?;
                 let FieldData::$variant(d) = &mut field.data else { unreachable!() };
-                for i in 0..size {
-                    if mask[i] {
-                        d[i] = out[i];
-                    }
-                }
+                par::commit_masked(d, &out, &mask);
             }};
         }
 
@@ -185,39 +176,142 @@ impl Machine {
     }
 }
 
+/// Prefix-scan the active elements of `v`, returning the full output
+/// vector (inactive positions keep `v`'s value; the caller commits under
+/// the mask anyway). Unsegmented scans of at least `par::PAR_THRESHOLD`
+/// elements use the blocked two-pass algorithm over [`par::chunk_ranges`]
+/// chunks; chunk layout depends only on `v.len()`, keeping results
+/// thread-count-invariant.
+fn scan_values<T>(
+    v: &[T],
+    mask: &[bool],
+    segs: Option<&[bool]>,
+    id: T,
+    fold: impl Fn(T, T) -> T + Sync,
+    inclusive: bool,
+) -> Vec<T>
+where
+    T: Copy + Send + Sync,
+{
+    let size = v.len();
+    let mut out = v.to_vec();
+    let ranges = par::chunk_ranges(size);
+    if segs.is_none() && size >= par::PAR_THRESHOLD && ranges.len() > 1 {
+        // Pass 1: fold each chunk's active elements.
+        let sums = par::map_chunks(size, |r| {
+            r.into_iter().filter(|&i| mask[i]).fold(id, |acc, i| fold(acc, v[i]))
+        });
+        // Exclusive scan of the chunk sums: chunk k's carry-in.
+        let mut carries = Vec::with_capacity(sums.len());
+        let mut acc = id;
+        for s in &sums {
+            carries.push(acc);
+            acc = fold(acc, *s);
+        }
+        // Pass 2: sequential prefix inside each chunk, seeded by its carry.
+        let chunks = par::chunk_slices_mut(&mut out, &ranges);
+        scan_chunks(chunks, &ranges, &carries, v, mask, &fold, inclusive);
+    } else {
+        let mut acc = id;
+        for i in 0..size {
+            if let Some(sg) = segs {
+                if sg[i] {
+                    acc = id;
+                }
+            }
+            if mask[i] {
+                if inclusive {
+                    acc = fold(acc, v[i]);
+                    out[i] = acc;
+                } else {
+                    out[i] = acc;
+                    acc = fold(acc, v[i]);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Pass 2 of the blocked scan: each chunk walks its elements sequentially
+/// starting from its carry, chunks running in parallel on the pool.
+fn scan_chunks<T>(
+    mut chunks: Vec<&mut [T]>,
+    ranges: &[std::ops::Range<usize>],
+    carries: &[T],
+    v: &[T],
+    mask: &[bool],
+    fold: &(impl Fn(T, T) -> T + Sync),
+    inclusive: bool,
+) where
+    T: Copy + Send + Sync,
+{
+    use rayon::prelude::*;
+    chunks
+        .par_iter_mut()
+        .zip(carries.par_iter())
+        .zip(ranges.par_iter())
+        .with_min_len(1)
+        .for_each(|((chunk, &carry), r)| {
+            let mut acc = carry;
+            for (k, i) in r.clone().enumerate() {
+                if mask[i] {
+                    if inclusive {
+                        acc = fold(acc, v[i]);
+                        chunk[k] = acc;
+                    } else {
+                        chunk[k] = acc;
+                        acc = fold(acc, v[i]);
+                    }
+                }
+            }
+        });
+}
+
 fn reduce_int(v: &[i64], mask: &[bool], op: ReduceOp) -> Scalar {
-    let active = v.iter().zip(mask).filter(|(_, &m)| m).map(|(&x, _)| x);
     match op {
-        ReduceOp::Add => Scalar::Int(active.fold(0i64, |a, b| a.wrapping_add(b))),
-        ReduceOp::Mul => Scalar::Int(active.fold(1i64, |a, b| a.wrapping_mul(b))),
-        ReduceOp::Min => Scalar::Int(active.fold(INT_INF, i64::min)),
-        ReduceOp::Max => Scalar::Int(active.fold(INT_NEG_INF, i64::max)),
-        ReduceOp::And => Scalar::Int(active.fold(1i64, |a, b| (a != 0 && b != 0) as i64)),
-        ReduceOp::Or => Scalar::Int(active.fold(0i64, |a, b| (a != 0 || b != 0) as i64)),
-        ReduceOp::Xor => Scalar::Int(active.fold(0i64, |a, b| ((a != 0) ^ (b != 0)) as i64)),
-        ReduceOp::Arb => Scalar::Int(active.into_iter().next().unwrap_or(INT_INF)),
+        ReduceOp::Add => Scalar::Int(par::fold_active(v, mask, 0i64, |a, b| a.wrapping_add(b))),
+        ReduceOp::Mul => Scalar::Int(par::fold_active(v, mask, 1i64, |a, b| a.wrapping_mul(b))),
+        ReduceOp::Min => Scalar::Int(par::fold_active(v, mask, INT_INF, i64::min)),
+        ReduceOp::Max => Scalar::Int(par::fold_active(v, mask, INT_NEG_INF, i64::max)),
+        // Logical reductions treat operands as C truth values; the 0/1
+        // partials combine with the same fold, so chunking is transparent.
+        ReduceOp::And => {
+            Scalar::Int(par::fold_active(v, mask, 1i64, |a, b| (a != 0 && b != 0) as i64))
+        }
+        ReduceOp::Or => {
+            Scalar::Int(par::fold_active(v, mask, 0i64, |a, b| (a != 0 || b != 0) as i64))
+        }
+        ReduceOp::Xor => {
+            Scalar::Int(par::fold_active(v, mask, 0i64, |a, b| ((a != 0) ^ (b != 0)) as i64))
+        }
+        ReduceOp::Arb => {
+            Scalar::Int(par::first_active(mask).map_or(INT_INF, |i| v[i]))
+        }
     }
 }
 
 fn reduce_float(v: &[f64], mask: &[bool], op: ReduceOp) -> Result<Scalar> {
-    let active = v.iter().zip(mask).filter(|(_, &m)| m).map(|(&x, _)| x);
     Ok(match op {
-        ReduceOp::Add => Scalar::Float(active.fold(0.0, |a, b| a + b)),
-        ReduceOp::Mul => Scalar::Float(active.fold(1.0, |a, b| a * b)),
-        ReduceOp::Min => Scalar::Float(active.fold(f64::INFINITY, f64::min)),
-        ReduceOp::Max => Scalar::Float(active.fold(f64::NEG_INFINITY, f64::max)),
-        ReduceOp::Arb => Scalar::Float(active.into_iter().next().unwrap_or(f64::INFINITY)),
+        ReduceOp::Add => Scalar::Float(par::fold_active(v, mask, 0.0, |a, b| a + b)),
+        ReduceOp::Mul => Scalar::Float(par::fold_active(v, mask, 1.0, |a, b| a * b)),
+        ReduceOp::Min => Scalar::Float(par::fold_active(v, mask, f64::INFINITY, f64::min)),
+        ReduceOp::Max => {
+            Scalar::Float(par::fold_active(v, mask, f64::NEG_INFINITY, f64::max))
+        }
+        ReduceOp::Arb => {
+            Scalar::Float(par::first_active(mask).map_or(f64::INFINITY, |i| v[i]))
+        }
         _ => return Err(CmError::Unsupported("logical reduction on float field")),
     })
 }
 
 fn reduce_bool(v: &[bool], mask: &[bool], op: ReduceOp) -> Result<Scalar> {
-    let active = v.iter().zip(mask).filter(|(_, &m)| m).map(|(&x, _)| x);
     Ok(match op {
-        ReduceOp::And => Scalar::Bool(active.into_iter().all(|b| b)),
-        ReduceOp::Or => Scalar::Bool(active.into_iter().any(|b| b)),
-        ReduceOp::Xor => Scalar::Bool(active.fold(false, |a, b| a ^ b)),
-        ReduceOp::Arb => Scalar::Bool(active.into_iter().next().unwrap_or(false)),
+        ReduceOp::And => Scalar::Bool(par::fold_active(v, mask, true, |a, b| a && b)),
+        ReduceOp::Or => Scalar::Bool(par::fold_active(v, mask, false, |a, b| a || b)),
+        ReduceOp::Xor => Scalar::Bool(par::fold_active(v, mask, false, |a, b| a ^ b)),
+        ReduceOp::Arb => Scalar::Bool(par::first_active(mask).is_some_and(|i| v[i])),
         _ => return Err(CmError::Unsupported("arithmetic reduction on bool field")),
     })
 }
@@ -363,5 +457,66 @@ mod tests {
         let d = m.alloc_bool(vp, "d").unwrap();
         m.scan(d, b, ReduceOp::Or, true, None).unwrap();
         assert!(m.scan(d, b, ReduceOp::Add, true, None).is_err());
+    }
+
+    /// Blocked parallel scans and reductions must agree exactly with the
+    /// sequential definition above the parallel threshold.
+    #[test]
+    fn large_scan_matches_sequential_reference() {
+        let n = crate::par::PAR_THRESHOLD + 257;
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("v", &[n]).unwrap();
+        let a = m.alloc_int(vp, "a").unwrap();
+        let d = m.alloc_int(vp, "d").unwrap();
+        let mask = m.alloc_bool(vp, "m").unwrap();
+        let data: Vec<i64> = (0..n as i64).map(|x| (x * 7919) % 1000 - 500).collect();
+        let mbits: Vec<bool> = (0..n).map(|i| i % 5 != 3).collect();
+        m.write_all(a, FieldData::I64(data.clone())).unwrap();
+        m.write_all(mask, FieldData::Bool(mbits.clone())).unwrap();
+        m.push_context(mask).unwrap();
+        m.scan(d, a, ReduceOp::Add, true, None).unwrap();
+        let got_scan = m.int_data(d).unwrap().to_vec();
+        let got_sum = m.reduce(a, ReduceOp::Add).unwrap();
+        let got_min = m.reduce(a, ReduceOp::Min).unwrap();
+        let got_arb = m.reduce(a, ReduceOp::Arb).unwrap();
+        m.pop_context(vp).unwrap();
+
+        let mut acc = 0i64;
+        let mut want_scan = vec![0i64; n];
+        for i in 0..n {
+            if mbits[i] {
+                acc = acc.wrapping_add(data[i]);
+                want_scan[i] = acc;
+            }
+        }
+        for i in 0..n {
+            if mbits[i] {
+                assert_eq!(got_scan[i], want_scan[i], "scan diverges at {i}");
+            }
+        }
+        let active = || data.iter().zip(&mbits).filter(|(_, &m)| m).map(|(&x, _)| x);
+        assert_eq!(got_sum, Scalar::Int(active().fold(0i64, |a, b| a.wrapping_add(b))));
+        assert_eq!(got_min, Scalar::Int(active().fold(INT_INF, i64::min)));
+        assert_eq!(got_arb, Scalar::Int(active().next().unwrap()));
+    }
+
+    /// Float scans associate by chunk above the threshold; the result must
+    /// nevertheless be identical run-to-run (chunking depends on the size
+    /// alone). Compare against an explicitly chunk-folded reference.
+    #[test]
+    fn large_float_scan_is_reproducible() {
+        let n = crate::par::PAR_THRESHOLD + 11;
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("v", &[n]).unwrap();
+        let a = m.alloc_float(vp, "a").unwrap();
+        let d = m.alloc_float(vp, "d").unwrap();
+        let data: Vec<f64> = (0..n).map(|i| ((i * 37) % 97) as f64 * 0.125 - 6.0).collect();
+        m.write_all(a, FieldData::F64(data.clone())).unwrap();
+        m.scan(d, a, ReduceOp::Add, true, None).unwrap();
+        let first = m.float_data(d).unwrap().to_vec();
+        let sum1 = m.reduce(a, ReduceOp::Add).unwrap();
+        m.scan(d, a, ReduceOp::Add, true, None).unwrap();
+        assert_eq!(first, m.float_data(d).unwrap());
+        assert_eq!(sum1, m.reduce(a, ReduceOp::Add).unwrap());
     }
 }

@@ -171,3 +171,144 @@ proptest! {
         prop_assert_eq!(run(&a_data), run(&b_data));
     }
 }
+
+/// SplitMix64 — a self-contained generator so the reference data below
+/// does not depend on the machine's own `rand_int`.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+// Fields big enough to cross `par::PAR_THRESHOLD` take the parallel
+// branch of every wired hot path; these properties pin parallel results
+// to sequential references computed inline. Sizes straddle the threshold
+// (just below, at, and above) so both branches and the boundary itself
+// are exercised. Fewer cases than above — each case moves ~16k elements.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Router send with random (colliding) addresses equals a sequential
+    /// sender-order loop, for every combining mode, on both sides of the
+    /// parallel threshold.
+    #[test]
+    fn parallel_send_matches_sequential_reference(seed in 0u64..u64::MAX,
+                                                  delta in 0usize..3) {
+        let n = uc_cm::par::PAR_THRESHOLD - 1 + delta * 2048;
+        let dst_n = n / 4;
+        let data: Vec<i64> = (0..n).map(|i| mix(seed, i as u64) as i64 % 1000).collect();
+        let addrs: Vec<i64> = (0..n).map(|i| (mix(!seed, i as u64) % dst_n as u64) as i64).collect();
+        for combine in [Combine::Overwrite, Combine::Add, Combine::Min, Combine::Max] {
+            let mut m = Machine::with_defaults();
+            let vp = m.new_vp_set("senders", &[n]).unwrap();
+            let dvp = m.new_vp_set("receivers", &[dst_n]).unwrap();
+            let src = m.alloc_int(vp, "s").unwrap();
+            let addr = m.alloc_int(vp, "a").unwrap();
+            let dst = m.alloc_int(dvp, "d").unwrap();
+            m.write_all(src, FieldData::I64(data.clone())).unwrap();
+            m.write_all(addr, FieldData::I64(addrs.clone())).unwrap();
+            m.fill_unconditional(dst, Scalar::Int(-1)).unwrap();
+            m.send(dst, addr, src, combine).unwrap();
+
+            let mut expect = vec![-1i64; dst_n];
+            let mut hit = vec![false; dst_n];
+            for (&v, &a) in data.iter().zip(&addrs) {
+                let a = a as usize;
+                expect[a] = if !hit[a] {
+                    v
+                } else {
+                    match combine {
+                        Combine::Overwrite => v,
+                        Combine::Add => expect[a] + v,
+                        Combine::Min => expect[a].min(v),
+                        Combine::Max => expect[a].max(v),
+                        _ => unreachable!(),
+                    }
+                };
+                hit[a] = true;
+            }
+            prop_assert_eq!(m.read_all(dst).unwrap(), FieldData::I64(expect));
+        }
+    }
+
+    /// Router get through random addresses equals direct indexing above
+    /// and below the threshold, and leaves masked-off VPs untouched.
+    #[test]
+    fn parallel_get_matches_direct_indexing(seed in 0u64..u64::MAX,
+                                            delta in 0usize..3) {
+        let n = uc_cm::par::PAR_THRESHOLD - 1 + delta * 2048;
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("v", &[n]).unwrap();
+        let table = m.alloc_int(vp, "t").unwrap();
+        let addr = m.alloc_int(vp, "a").unwrap();
+        let out = m.alloc_int(vp, "o").unwrap();
+        let mk = m.alloc_bool(vp, "m").unwrap();
+        let data: Vec<i64> = (0..n).map(|i| mix(seed, i as u64) as i64 % 9973).collect();
+        let addrs: Vec<i64> = (0..n).map(|i| (mix(!seed, i as u64) % n as u64) as i64).collect();
+        let mask: Vec<bool> = (0..n).map(|i| !mix(seed ^ 0xA5A5, i as u64).is_multiple_of(4)).collect();
+        m.write_all(table, FieldData::I64(data.clone())).unwrap();
+        m.write_all(addr, FieldData::I64(addrs.clone())).unwrap();
+        m.write_all(mk, FieldData::Bool(mask.clone())).unwrap();
+        m.fill_unconditional(out, Scalar::Int(-3)).unwrap();
+        m.push_context(mk).unwrap();
+        m.get(out, addr, table).unwrap();
+        m.pop_context(vp).unwrap();
+        let expect: Vec<i64> = (0..n)
+            .map(|i| if mask[i] { data[addrs[i] as usize] } else { -3 })
+            .collect();
+        prop_assert_eq!(m.read_all(out).unwrap(), FieldData::I64(expect));
+    }
+
+    /// The blocked two-pass parallel scan equals the running fold at
+    /// sizes just below, at, and above the parallel threshold.
+    #[test]
+    fn parallel_scan_matches_running_fold(seed in 0u64..u64::MAX,
+                                          delta in 0usize..5) {
+        let n = uc_cm::par::PAR_THRESHOLD - 2 + delta;
+        let data: Vec<i64> = (0..n).map(|i| mix(seed, i as u64) as i64 % 100).collect();
+        let mask: Vec<bool> = (0..n).map(|i| !mix(!seed, i as u64).is_multiple_of(3)).collect();
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("v", &[n]).unwrap();
+        let a = m.alloc_int(vp, "a").unwrap();
+        let d = m.alloc_int(vp, "d").unwrap();
+        let mk = m.alloc_bool(vp, "m").unwrap();
+        m.write_all(a, FieldData::I64(data.clone())).unwrap();
+        m.write_all(mk, FieldData::Bool(mask.clone())).unwrap();
+        m.fill_unconditional(d, Scalar::Int(0)).unwrap();
+        m.push_context(mk).unwrap();
+        m.scan(d, a, ReduceOp::Add, true, None).unwrap();
+        m.pop_context(vp).unwrap();
+        let mut acc = 0i64;
+        let expect: Vec<i64> = (0..n)
+            .map(|i| if mask[i] { acc += data[i]; acc } else { 0 })
+            .collect();
+        prop_assert_eq!(m.read_all(d).unwrap(), FieldData::I64(expect));
+
+        prop_assert_eq!(
+            m.reduce(a, ReduceOp::Add).unwrap().as_int(),
+            data.iter().sum::<i64>()
+        );
+    }
+
+    /// Elementwise chains above the threshold equal the scalar loop.
+    #[test]
+    fn parallel_elementwise_matches_scalar_loop(seed in 0u64..u64::MAX) {
+        let n = uc_cm::par::PAR_THRESHOLD + 517;
+        let av: Vec<i64> = (0..n).map(|i| mix(seed, i as u64) as i64 % 500 - 250).collect();
+        let bv: Vec<i64> = (0..n).map(|i| mix(!seed, i as u64) as i64 % 500 - 250).collect();
+        let mut m = Machine::with_defaults();
+        let vp = m.new_vp_set("v", &[n]).unwrap();
+        let a = m.alloc_int(vp, "a").unwrap();
+        let b = m.alloc_int(vp, "b").unwrap();
+        let c = m.alloc_int(vp, "c").unwrap();
+        m.write_all(a, FieldData::I64(av.clone())).unwrap();
+        m.write_all(b, FieldData::I64(bv.clone())).unwrap();
+        m.binop(BinOp::Mul, c, a, b).unwrap();
+        m.binop(BinOp::Max, c, c, a).unwrap();
+        m.binop_imm(BinOp::Add, c, c, Scalar::Int(13)).unwrap();
+        let expect: Vec<i64> =
+            av.iter().zip(&bv).map(|(&x, &y)| (x * y).max(x) + 13).collect();
+        prop_assert_eq!(m.read_all(c).unwrap(), FieldData::I64(expect));
+    }
+}

@@ -1,0 +1,303 @@
+//! Indexed parallel iterators over slices and ranges.
+//!
+//! Every source this workspace parallelises is random-access (slices,
+//! mutable slices, integer ranges), so the pipeline model is an indexed
+//! one: a [`ParallelIterator`] knows its length and can produce the item
+//! at any index, adapters ([`Map`], [`Zip`], [`MinLen`]) compose by
+//! index, and the consumers (`for_each`, `collect`) split the index space
+//! into chunks and fan the chunks out on the [`crate::pool`] work-stealing
+//! pool. Splitting never depends on the thread count's *schedule*: any
+//! interleaving produces the same output because each index is consumed
+//! exactly once and writes go to disjoint output slots.
+
+use crate::pool;
+
+/// Default smallest number of items a single pool job processes; override
+/// per pipeline with [`ParallelIterator::with_min_len`].
+pub const DEFAULT_MIN_LEN: usize = 1 << 10;
+
+/// A random-access parallel pipeline.
+///
+/// # Safety contract of `item_at`
+///
+/// Callers must consume each index in `0..pi_len()` **at most once**
+/// across all threads: mutable-slice sources hand out `&mut` references
+/// derived from a shared `*mut` base, which is sound only while indices
+/// are not aliased. The consumers in this module uphold this by
+/// partitioning `0..len` into disjoint chunks.
+pub trait ParallelIterator: Sized + Sync {
+    type Item: Send;
+
+    /// Number of items in the pipeline.
+    fn pi_len(&self) -> usize;
+
+    /// Produce the item at `index`.
+    ///
+    /// # Safety
+    /// Each index may be consumed at most once across all threads, and
+    /// `index < self.pi_len()`.
+    unsafe fn item_at(&self, index: usize) -> Self::Item;
+
+    /// Smallest chunk a single pool job should process.
+    fn min_len(&self) -> usize {
+        DEFAULT_MIN_LEN
+    }
+
+    fn map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+        Zip { a: self, b: other }
+    }
+
+    /// Chunking hint: a single pool job will process at least `min`
+    /// consecutive items (rayon's `IndexedParallelIterator::with_min_len`).
+    fn with_min_len(self, min: usize) -> MinLen<Self> {
+        MinLen { base: self, min: min.max(1) }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        drive(&self, &|_, item| f(item));
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types buildable from a parallel pipeline.
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(it: I) -> Self {
+        let len = it.pi_len();
+        let mut out: Vec<T> = Vec::with_capacity(len);
+        let base = SendPtr(out.as_mut_ptr());
+        // Each index writes its own slot, so the writes are disjoint. If a
+        // job panics the scope re-throws before `set_len`, leaking the
+        // written items rather than dropping uninitialised ones.
+        drive(&it, &|i, item| unsafe { base.get().add(i).write(item) });
+        unsafe { out.set_len(len) };
+        out
+    }
+}
+
+/// Raw pointer that may cross threads; writes are to disjoint slots.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Fan `consume(i, item)` out over the pool in contiguous index chunks.
+/// The per-index results are independent, so the output is identical for
+/// every thread count and chunking.
+fn drive<I, C>(it: &I, consume: &C)
+where
+    I: ParallelIterator,
+    C: Fn(usize, I::Item) + Sync,
+{
+    let len = it.pi_len();
+    if len == 0 {
+        return;
+    }
+    let min = it.min_len().max(1);
+    let threads = pool::current_num_threads();
+    if threads == 1 || len <= min {
+        // Inline on the caller: no jobs, no pool wakeup.
+        for i in 0..len {
+            consume(i, unsafe { it.item_at(i) });
+        }
+        return;
+    }
+    // Aim for a few chunks per thread so stealing can balance load.
+    let chunk = len.div_ceil(threads * 4).max(min);
+    pool::scope(|s| {
+        let mut start = 0;
+        while start < len {
+            let end = (start + chunk).min(len);
+            s.spawn(move |_| {
+                for i in start..end {
+                    consume(i, unsafe { it.item_at(i) });
+                }
+            });
+            start = end;
+        }
+    });
+}
+
+// ---- sources -----------------------------------------------------------
+
+/// Shared-slice source: `slice.par_iter()`.
+pub struct SliceParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+    unsafe fn item_at(&self, index: usize) -> &'a T {
+        self.slice.get_unchecked(index)
+    }
+}
+
+/// Mutable-slice source: `slice.par_iter_mut()`. Hands out disjoint
+/// `&mut` references under the indexed-consumption contract.
+pub struct SliceParIterMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+unsafe impl<T: Send> Send for SliceParIterMut<'_, T> {}
+unsafe impl<T: Send> Sync for SliceParIterMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for SliceParIterMut<'a, T> {
+    type Item = &'a mut T;
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+    unsafe fn item_at(&self, index: usize) -> &'a mut T {
+        &mut *self.ptr.add(index)
+    }
+}
+
+/// Index-range source: `(0..n).into_par_iter()`.
+pub struct RangeParIter {
+    start: usize,
+    len: usize,
+}
+
+impl ParallelIterator for RangeParIter {
+    type Item = usize;
+    fn pi_len(&self) -> usize {
+        self.len
+    }
+    unsafe fn item_at(&self, index: usize) -> usize {
+        self.start + index
+    }
+}
+
+// ---- adapters ----------------------------------------------------------
+
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, O, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    O: Send,
+    F: Fn(I::Item) -> O + Sync,
+{
+    type Item = O;
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    unsafe fn item_at(&self, index: usize) -> O {
+        (self.f)(self.base.item_at(index))
+    }
+    fn min_len(&self) -> usize {
+        self.base.min_len()
+    }
+}
+
+/// Lock-step pairing; truncates to the shorter side like rayon's `zip`.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    fn pi_len(&self) -> usize {
+        self.a.pi_len().min(self.b.pi_len())
+    }
+    unsafe fn item_at(&self, index: usize) -> (A::Item, B::Item) {
+        (self.a.item_at(index), self.b.item_at(index))
+    }
+    fn min_len(&self) -> usize {
+        self.a.min_len().max(self.b.min_len())
+    }
+}
+
+pub struct MinLen<I> {
+    base: I,
+    min: usize,
+}
+
+impl<I: ParallelIterator> ParallelIterator for MinLen<I> {
+    type Item = I::Item;
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+    unsafe fn item_at(&self, index: usize) -> I::Item {
+        self.base.item_at(index)
+    }
+    fn min_len(&self) -> usize {
+        self.min
+    }
+}
+
+// ---- entry-point traits (the prelude) ----------------------------------
+
+/// `slice.par_iter()`.
+pub trait IntoParallelRefIterator<T> {
+    fn par_iter(&self) -> SliceParIter<'_, T>;
+}
+
+impl<T: Sync> IntoParallelRefIterator<T> for [T] {
+    fn par_iter(&self) -> SliceParIter<'_, T> {
+        SliceParIter { slice: self }
+    }
+}
+
+/// `slice.par_iter_mut()`.
+pub trait IntoParallelRefMutIterator<T> {
+    fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T>;
+}
+
+impl<T: Send> IntoParallelRefMutIterator<T> for [T] {
+    fn par_iter_mut(&mut self) -> SliceParIterMut<'_, T> {
+        SliceParIterMut { ptr: self.as_mut_ptr(), len: self.len(), _marker: std::marker::PhantomData }
+    }
+}
+
+/// `range.into_par_iter()` for `Range<usize>` (the only owning source the
+/// workspace uses).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = RangeParIter;
+    fn into_par_iter(self) -> RangeParIter {
+        let len = self.end.saturating_sub(self.start);
+        RangeParIter { start: self.start, len }
+    }
+}

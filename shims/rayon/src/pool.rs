@@ -1,0 +1,271 @@
+//! The scoped work-stealing thread pool behind the parallel iterators.
+//!
+//! A single global pool is initialised lazily on first use. Its size comes
+//! from the `UC_THREADS` environment variable when set (clamped to
+//! `1..=MAX_THREADS`; unparsable values fall back to the default), else
+//! from [`std::thread::available_parallelism`]. One thread of the pool is
+//! always the *submitting* thread itself: a pool of size `N` spawns `N-1`
+//! background workers, and with `UC_THREADS=1` no threads are spawned at
+//! all — every job runs inline on the caller.
+//!
+//! Scheduling is chunked work queues with stealing: each background worker
+//! owns a deque; submitted jobs are placed round-robin across the worker
+//! queues, a worker pops from the front of its own queue, and an idle
+//! worker (or a caller waiting on a [`scope`]) steals from the back of its
+//! peers' queues. Workers sleep on a condvar when every queue is empty.
+//!
+//! [`scope`] mirrors `rayon::scope`: jobs spawned inside it may borrow
+//! from the enclosing stack frame (`'scope` data), the call returns only
+//! once every spawned job (including nested spawns) has finished, and a
+//! panic inside any job is captured and re-thrown from `scope` on the
+//! calling thread — it never deadlocks the pool or kills a worker.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Upper bound on pool size; `UC_THREADS` beyond this is clamped.
+pub const MAX_THREADS: usize = 256;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    /// One work queue per background worker.
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    /// Guards the sleep/wake handshake (never held while running jobs).
+    sleep: Mutex<()>,
+    wake: Condvar,
+    /// Round-robin cursor for job placement across `queues`.
+    cursor: AtomicUsize,
+}
+
+impl Shared {
+    /// Pop a job: worker `me` prefers the front of its own queue, then
+    /// steals from the back of each peer queue. A non-worker caller
+    /// (helping from [`Pool::wait_scope`]) passes `me = None` and only
+    /// steals.
+    fn find_job(&self, me: Option<usize>) -> Option<Job> {
+        if let Some(me) = me {
+            if let Some(job) = self.queues[me].lock().unwrap().pop_front() {
+                return Some(job);
+            }
+        }
+        let n = self.queues.len();
+        let start = me.map_or(0, |m| m + 1);
+        for k in 0..n {
+            let q = (start + k) % n;
+            if Some(q) == me {
+                continue;
+            }
+            if let Some(job) = self.queues[q].lock().unwrap().pop_back() {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    fn any_pending(&self) -> bool {
+        self.queues.iter().any(|q| !q.lock().unwrap().is_empty())
+    }
+
+    fn inject(&self, job: Job) {
+        let slot = self.cursor.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[slot].lock().unwrap().push_back(job);
+        // Take the sleep lock before notifying so a worker that found all
+        // queues empty and is about to wait cannot miss this wakeup.
+        let _g = self.sleep.lock().unwrap();
+        self.wake.notify_all();
+    }
+}
+
+pub struct Pool {
+    shared: Arc<Shared>,
+    /// Background workers; the submitting thread is the `+1`-th member.
+    workers: usize,
+}
+
+fn worker_loop(shared: Arc<Shared>, me: usize) {
+    loop {
+        if let Some(job) = shared.find_job(Some(me)) {
+            job();
+            continue;
+        }
+        let guard = shared.sleep.lock().unwrap();
+        if shared.any_pending() {
+            continue; // a job arrived between the scan and the lock
+        }
+        // The pool is global and never shuts down; workers just sleep.
+        drop(shared.wake.wait(guard).unwrap());
+    }
+}
+
+/// Pool size: `UC_THREADS` if set and parsable (clamped to
+/// `1..=MAX_THREADS`), else the host's available parallelism.
+fn configured_threads() -> usize {
+    let default = || std::thread::available_parallelism().map_or(1, |n| n.get());
+    match std::env::var("UC_THREADS") {
+        Ok(s) => match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n.min(MAX_THREADS),
+            _ => default(),
+        },
+        Err(_) => default(),
+    }
+}
+
+fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let threads = configured_threads();
+        let workers = threads - 1;
+        let shared = Arc::new(Shared {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+        });
+        for me in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("uc-pool-{me}"))
+                .spawn(move || worker_loop(shared, me))
+                .expect("spawn pool worker");
+        }
+        Pool { shared, workers }
+    })
+}
+
+/// Total threads that execute work: background workers plus the caller.
+pub fn current_num_threads() -> usize {
+    global().workers + 1
+}
+
+struct ScopeState {
+    /// Spawned-but-unfinished jobs, including nested spawns.
+    pending: AtomicUsize,
+    /// First panic payload from any job in this scope.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+/// A scope in which borrowed jobs can be spawned; see [`scope`].
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    /// Invariant over `'scope`, as in rayon.
+    _marker: PhantomData<&'scope mut &'scope ()>,
+}
+
+/// `*const Scope` made Send so jobs on worker threads can call back into
+/// `Scope::spawn`. Sound because [`scope`] keeps the `Scope` alive until
+/// every job has finished.
+#[derive(Clone, Copy)]
+struct ScopePtr(*const ());
+unsafe impl Send for ScopePtr {}
+
+impl ScopePtr {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// whole `Send` wrapper, not the raw pointer field (edition-2021
+    /// disjoint capture would otherwise grab the non-`Send` `*const ()`).
+    fn get(self) -> *const () {
+        self.0
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a job that may borrow `'scope` data. The job runs at some
+    /// point before the enclosing [`scope`] call returns, on any pool
+    /// thread (inline on the caller for a single-threaded pool). Panics
+    /// inside the job are captured and re-thrown by [`scope`].
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.state.pending.fetch_add(1, Ordering::SeqCst);
+        let state = Arc::clone(&self.state);
+        let me = ScopePtr(self as *const Scope<'scope> as *const ());
+        let job = move || {
+            let scope: &Scope<'scope> = unsafe { &*(me.get() as *const Scope<'scope>) };
+            let result = panic::catch_unwind(AssertUnwindSafe(|| f(scope)));
+            if let Err(payload) = result {
+                state.panic.lock().unwrap().get_or_insert(payload);
+            }
+            state.pending.fetch_sub(1, Ordering::SeqCst);
+        };
+        let pool = global();
+        if pool.workers == 0 {
+            // Single-threaded pool: run inline (still recording panics so
+            // propagation out of `scope` matches the pooled path).
+            job();
+        } else {
+            // Erase `'scope`: the scope's completion wait guarantees the
+            // job is done before any `'scope` borrow expires.
+            let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(job);
+            let job: Job = unsafe { std::mem::transmute(job) };
+            pool.shared.inject(job);
+        }
+    }
+}
+
+impl Pool {
+    /// Block until `state.pending` drains, executing queued jobs (from any
+    /// scope) while waiting so the pool cannot deadlock on nested scopes.
+    fn wait_scope(&self, state: &ScopeState) {
+        while state.pending.load(Ordering::SeqCst) != 0 {
+            match self.shared.find_job(None) {
+                Some(job) => job(),
+                None => std::thread::yield_now(),
+            }
+        }
+    }
+}
+
+/// Create a scope for spawning borrowed jobs, as `rayon::scope`: returns
+/// once every spawned job has completed, and re-throws the first panic
+/// (from the closure itself or any job) on the calling thread.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'env>) -> R,
+{
+    let s = Scope { state: Arc::new(ScopeState { pending: AtomicUsize::new(0), panic: Mutex::new(None) }), _marker: PhantomData };
+    let result = panic::catch_unwind(AssertUnwindSafe(|| f(&s)));
+    global().wait_scope(&s.state);
+    if let Some(payload) = s.state.panic.lock().unwrap().take() {
+        panic::resume_unwind(payload);
+    }
+    match result {
+        Ok(r) => r,
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn scope_runs_all_jobs() {
+        let total = AtomicU64::new(0);
+        scope(|s| {
+            for i in 0..64u64 {
+                let total = &total;
+                s.spawn(move |_| {
+                    total.fetch_add(i, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), (0..64).sum());
+    }
+
+    #[test]
+    fn scope_returns_closure_value() {
+        assert_eq!(scope(|_| 42), 42);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
+        assert!(current_num_threads() <= MAX_THREADS);
+    }
+}

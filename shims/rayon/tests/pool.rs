@@ -1,0 +1,193 @@
+//! Stress tests for the scoped work-stealing pool: nesting, panic
+//! propagation, degenerate inputs and concurrent submitters.
+
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use rayon::prelude::*;
+use rayon::{current_num_threads, scope};
+
+/// Scopes nest: a job may open its own scope, and the outer scope still
+/// waits for everything (the help-while-waiting path — a blocked waiter
+/// executes queued jobs instead of deadlocking the pool).
+#[test]
+fn nested_scopes_complete_without_deadlock() {
+    let hits = AtomicUsize::new(0);
+    scope(|outer| {
+        for _ in 0..8 {
+            let hits = &hits;
+            outer.spawn(move |_| {
+                scope(|inner| {
+                    for _ in 0..8 {
+                        inner.spawn(move |_| {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+                // The inner scope is done before its caller continues.
+                assert!(hits.load(Ordering::Relaxed) >= 8);
+            });
+        }
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 64);
+}
+
+/// Spawns from inside spawned jobs (same scope, not a nested one) are
+/// also waited for.
+#[test]
+fn recursive_spawns_on_one_scope_are_awaited() {
+    let hits = AtomicUsize::new(0);
+    scope(|s| {
+        let hits = &hits;
+        s.spawn(move |s| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            s.spawn(move |s| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                s.spawn(move |_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), 3);
+}
+
+/// A panicking worker job surfaces as a panic from `scope` on the
+/// calling thread — it does not deadlock the scope or poison the pool.
+#[test]
+fn worker_panic_propagates_to_caller() {
+    let caught = panic::catch_unwind(|| {
+        scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+    });
+    let payload = caught.expect_err("scope must re-throw the job panic");
+    let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+    assert_eq!(msg, "boom");
+}
+
+/// The pool keeps working after a panic: every later scope and parallel
+/// iterator still runs to completion.
+#[test]
+fn pool_survives_a_job_panic() {
+    let _ = panic::catch_unwind(|| {
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| panic!("boom"));
+            }
+        });
+    });
+    let n = 100_000usize;
+    let v: Vec<usize> = (0..n).into_par_iter().map(|i| i * 2).collect();
+    assert_eq!(v.len(), n);
+    assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+}
+
+/// Only the first panic wins; the others are swallowed after running.
+#[test]
+fn one_panic_payload_is_reported() {
+    let ran = AtomicUsize::new(0);
+    let caught = panic::catch_unwind(panic::AssertUnwindSafe(|| {
+        scope(|s| {
+            for _ in 0..16 {
+                let ran = &ran;
+                s.spawn(move |_| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    panic!("boom");
+                });
+            }
+        });
+    }));
+    assert!(caught.is_err());
+    // The scope waited for every job even though they all panicked.
+    assert_eq!(ran.load(Ordering::Relaxed), 16);
+}
+
+/// Empty and sub-threshold inputs never leave the calling thread: no
+/// jobs are queued, the work runs inline.
+#[test]
+fn tiny_inputs_run_on_the_caller() {
+    let me = thread::current().id();
+
+    let empty: Vec<i32> = Vec::<i32>::new().par_iter().map(|&x| x).collect();
+    assert!(empty.is_empty());
+
+    let one = [7i32];
+    let seen = std::sync::Mutex::new(Vec::new());
+    one.par_iter().for_each(|&x| {
+        seen.lock().unwrap().push((thread::current().id(), x));
+    });
+    let seen = seen.into_inner().unwrap();
+    assert_eq!(seen.len(), 1);
+    assert_eq!(seen[0], (me, 7));
+
+    // Below the default min chunk length the whole slice stays inline.
+    let small: Vec<i64> = (0..100i64).collect();
+    let ids = std::sync::Mutex::new(std::collections::HashSet::new());
+    small.par_iter().for_each(|_| {
+        ids.lock().unwrap().insert(thread::current().id());
+    });
+    let ids = ids.into_inner().unwrap();
+    assert_eq!(ids.len(), 1);
+    assert!(ids.contains(&me));
+}
+
+/// Many scopes submitted concurrently from plain `std::thread`s all
+/// complete with correct results (the queues and condvar handshake are
+/// shared safely between submitters).
+#[test]
+fn concurrent_scopes_from_many_threads() {
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            thread::spawn(move || {
+                let mut total = 0u64;
+                for round in 0..8 {
+                    let base = (t * 1000 + round) as u64;
+                    let sum = std::sync::atomic::AtomicU64::new(0);
+                    scope(|s| {
+                        for j in 0..32u64 {
+                            let sum = &sum;
+                            s.spawn(move |_| {
+                                sum.fetch_add(base + j, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                    total += sum.load(Ordering::Relaxed);
+                }
+                total
+            })
+        })
+        .collect();
+    for (t, h) in handles.into_iter().enumerate() {
+        let got = h.join().expect("submitter thread panicked");
+        let want: u64 = (0..8)
+            .flat_map(|round| (0..32u64).map(move |j| (t as u64 * 1000 + round) + j))
+            .sum();
+        assert_eq!(got, want, "submitter {t}");
+    }
+}
+
+/// Mutating iteration over a large buffer touches every slot exactly
+/// once even while other pool traffic is in flight.
+#[test]
+fn mutation_under_contention_is_exact() {
+    let n = 200_000usize;
+    let mut buf = vec![0u32; n];
+    scope(|s| {
+        s.spawn(|_| {
+            // Background traffic on the same pool.
+            let _: Vec<usize> = (0..50_000usize).into_par_iter().map(|i| i ^ 1).collect();
+        });
+        buf.par_iter_mut().zip((0..n).into_par_iter()).for_each(|(slot, i)| {
+            *slot += i as u32;
+        });
+    });
+    assert!(buf.iter().enumerate().all(|(i, &x)| x == i as u32));
+}
+
+#[test]
+fn pool_size_is_sane() {
+    let n = current_num_threads();
+    assert!(n >= 1);
+}

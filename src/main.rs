@@ -17,6 +17,12 @@
 //! `run` executes `main()` and then prints every global scalar and array
 //! together with the simulated cycle count and instruction mix — the
 //! numbers the paper's figures plot.
+//!
+//! The simulator's hot loops run on a work-stealing thread pool sized
+//! from the `UC_THREADS` environment variable when set (clamped to
+//! 1..=256; `UC_THREADS=1` disables threading entirely), else from the
+//! host's available parallelism. Results are bit-identical regardless of
+//! the thread count — the variable only affects wall-clock time.
 
 use std::process::ExitCode;
 
@@ -29,6 +35,7 @@ fn main() -> ExitCode {
         Some((c, r)) => (c.as_str(), r),
         None => {
             eprintln!("usage: uc <run|check|emit-cstar> <file.uc> [options]");
+            eprintln!("  env UC_THREADS=N   simulator thread count (default: all cores; results identical for any N)");
             return ExitCode::FAILURE;
         }
     };
