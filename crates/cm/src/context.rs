@@ -14,16 +14,24 @@ use crate::{CmError, Result};
 /// Pushing ANDs a new predicate into the current mask, which is exactly how
 /// the CM implements nested selection: deactivated processors stay
 /// deactivated for the whole nested block.
+///
+/// Popped masks are parked on a spare list and reused by the next push, so
+/// steady-state push/pop cycles (every `st`-guarded loop iteration) perform
+/// no heap allocation once the stack has been warmed to its peak depth.
 #[derive(Debug, Clone)]
 pub struct ContextStack {
     size: usize,
     stack: Vec<Vec<bool>>,
+    spare: Vec<Vec<bool>>,
 }
+
+/// Retain at most this many popped masks for reuse.
+const MAX_SPARE: usize = 8;
 
 impl ContextStack {
     /// A context stack for a VP set of `size` processors, all active.
     pub fn new(size: usize) -> Self {
-        ContextStack { size, stack: vec![vec![true; size]] }
+        ContextStack { size, stack: vec![vec![true; size]], spare: Vec::new() }
     }
 
     /// The current activity mask.
@@ -49,8 +57,10 @@ impl ContextStack {
         if mask.len() != self.size {
             return Err(CmError::VpSetMismatch);
         }
-        let cur = self.current();
-        let next: Vec<bool> = cur.iter().zip(mask).map(|(&c, &m)| c && m).collect();
+        let mut next = self.spare.pop().unwrap_or_default();
+        next.clear();
+        let cur = self.stack.last().expect("context stack has a base");
+        next.extend(cur.iter().zip(mask).map(|(&c, &m)| c && m));
         self.stack.push(next);
         Ok(())
     }
@@ -63,8 +73,10 @@ impl ContextStack {
         if mask.len() != self.size {
             return Err(CmError::VpSetMismatch);
         }
-        let cur = self.current();
-        let next: Vec<bool> = cur.iter().zip(mask).map(|(&c, &m)| c && !m).collect();
+        let mut next = self.spare.pop().unwrap_or_default();
+        next.clear();
+        let cur = self.stack.last().expect("context stack has a base");
+        next.extend(cur.iter().zip(mask).map(|(&c, &m)| c && !m));
         self.stack.push(next);
         Ok(())
     }
@@ -74,7 +86,10 @@ impl ContextStack {
         if self.stack.len() == 1 {
             return Err(CmError::ContextUnderflow);
         }
-        self.stack.pop();
+        let popped = self.stack.pop().expect("depth checked");
+        if self.spare.len() < MAX_SPARE {
+            self.spare.push(popped);
+        }
         Ok(())
     }
 

@@ -55,6 +55,27 @@ impl FieldData {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Overwrite `self` with `src`'s contents, reusing the existing
+    /// capacity (no heap allocation once the capacity fits). Panics on a
+    /// variant mismatch; callers type-check first.
+    pub(crate) fn clone_from_reusing(&mut self, src: &FieldData) {
+        match (self, src) {
+            (FieldData::I64(d), FieldData::I64(s)) => {
+                d.clear();
+                d.extend_from_slice(s);
+            }
+            (FieldData::F64(d), FieldData::F64(s)) => {
+                d.clear();
+                d.extend_from_slice(s);
+            }
+            (FieldData::Bool(d), FieldData::Bool(s)) => {
+                d.clear();
+                d.extend_from_slice(s);
+            }
+            _ => unreachable!("clone_from_reusing across element types"),
+        }
+    }
 }
 
 /// A field: named, typed, per-VP storage belonging to one VP set.
@@ -65,6 +86,9 @@ pub struct Field {
 }
 
 impl Field {
+    /// Test-only constructor; `Machine::alloc` builds fields from pooled
+    /// storage instead.
+    #[cfg(test)]
     pub(crate) fn new(name: &str, ty: ElemType, len: usize) -> Self {
         Field { name: name.to_string(), data: FieldData::zeroed(ty, len) }
     }

@@ -5,6 +5,39 @@
 //! methods on `Machine` (spread across `ops`, `news`, `router` and `scan`);
 //! each one validates its operands, charges the cost model, and then
 //! executes deterministically.
+//!
+//! # Split borrows: how hot paths avoid cloning
+//!
+//! The dominant per-step costs of any UC program are the router and scan
+//! (the paper's §4 cost model), so those paths must not copy whole fields
+//! just to satisfy the borrow checker. [`Machine::split_dst`] is the
+//! split-borrow accessor every hot path uses: it partitions the machine's
+//! storage *around* the destination field and returns
+//!
+//! * `&mut FieldData` for the destination, and
+//! * a [`Peers`] view that resolves `&FieldData` for any *other* field
+//!   (same or different VP set), the current context mask of any VP set,
+//!   and any VP set's geometry — all borrowed, never cloned.
+//!
+//! The aliasing invariant: `Peers` refuses to resolve the destination
+//! itself. An operation whose source *is* its destination (e.g.
+//! `unop(Neg, d, d)`) first copies that one operand into a scratch buffer
+//! ([`Machine::scratch_copy`]) and reads the copy. Because every alias is
+//! by definition equal to the destination, at most one scratch copy is
+//! ever needed per operation.
+//!
+//! # The scratch arena
+//!
+//! [`Scratch`] is a per-machine pool of typed buffers (`Vec<i64>`,
+//! `Vec<f64>`, `Vec<bool>`, plus field-name `String`s). Hot paths check
+//! buffers out (`take_*`) and return them (`put_*`) around each
+//! operation; [`Machine::free`] retires a field's storage into the pool
+//! and [`Machine::alloc`] draws from it. After a warm-up pass, the
+//! steady-state `send`/`get`/scan/reduce/elementwise chain performs zero
+//! heap allocations (enforced by the `alloc_count` integration test and a
+//! CI leg). The arena is bounded: at most [`MAX_POOL`] parked buffers per
+//! type, and [`Machine::scratch_high_water`] reports the peak number
+//! checked out at once.
 
 use crate::context::ContextStack;
 use crate::cost::{CostModel, OpClass, OpCounters};
@@ -27,6 +60,245 @@ pub(crate) struct VpSet {
     free_slots: Vec<usize>,
 }
 
+/// Retain at most this many parked buffers per element type (and at most
+/// this many parked name strings), so a transient burst of allocations
+/// cannot pin memory forever.
+pub(crate) const MAX_POOL: usize = 32;
+
+/// Reusable scratch storage shared by every hot path of one [`Machine`].
+///
+/// Buffers are checked out with `take_*` and returned with `put_*`; the
+/// pool keeps their capacity alive so steady-state operations allocate
+/// nothing. Freed field storage is retired here too, making
+/// alloc/free-heavy executor code (e.g. `binop_imm` temporaries)
+/// allocation-free after warm-up.
+#[derive(Debug, Default)]
+pub(crate) struct Scratch {
+    ints: Vec<Vec<i64>>,
+    floats: Vec<Vec<f64>>,
+    bools: Vec<Vec<bool>>,
+    names: Vec<String>,
+    /// Data buffers currently checked out.
+    outstanding: usize,
+    /// Peak of `outstanding` over the machine's lifetime.
+    high_water: usize,
+}
+
+impl Scratch {
+    fn bump(&mut self) {
+        self.outstanding += 1;
+        self.high_water = self.high_water.max(self.outstanding);
+    }
+
+    /// Pick the pooled buffer whose capacity best fits `len`: the smallest
+    /// one that already fits, else the largest (it grows once and then
+    /// fits forever). Returns a cleared vector.
+    fn take_vec<T>(pool: &mut Vec<Vec<T>>, len: usize) -> Vec<T> {
+        let mut best: Option<usize> = None;
+        for i in 0..pool.len() {
+            best = Some(match best {
+                None => i,
+                Some(j) => {
+                    let (ci, cj) = (pool[i].capacity(), pool[j].capacity());
+                    match (ci >= len, cj >= len) {
+                        (true, true) => {
+                            if ci < cj {
+                                i
+                            } else {
+                                j
+                            }
+                        }
+                        (true, false) => i,
+                        (false, true) => j,
+                        (false, false) => {
+                            if ci > cj {
+                                i
+                            } else {
+                                j
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        let mut v = best.map(|i| pool.swap_remove(i)).unwrap_or_default();
+        v.clear();
+        v.reserve(len);
+        v
+    }
+
+    fn put_vec<T>(pool: &mut Vec<Vec<T>>, v: Vec<T>) {
+        if pool.len() < MAX_POOL {
+            pool.push(v);
+        }
+    }
+
+    /// Check out a `false`-initialised bool buffer of `len` elements.
+    pub(crate) fn take_bools_zeroed(&mut self, len: usize) -> Vec<bool> {
+        self.bump();
+        let mut v = Self::take_vec(&mut self.bools, len);
+        v.resize(len, false);
+        v
+    }
+
+    pub(crate) fn put_bools(&mut self, v: Vec<bool>) {
+        self.outstanding -= 1;
+        Self::put_vec(&mut self.bools, v);
+    }
+
+    /// Zero-initialised storage of `ty` and `len`, drawn from the pool but
+    /// *not* tracked as checked out: the new field owns it until
+    /// [`Scratch::retire_field`] returns it.
+    fn draw_field_data(&mut self, ty: ElemType, len: usize) -> FieldData {
+        match ty {
+            ElemType::Int => {
+                let mut v = Self::take_vec(&mut self.ints, len);
+                v.resize(len, 0);
+                FieldData::I64(v)
+            }
+            ElemType::Float => {
+                let mut v = Self::take_vec(&mut self.floats, len);
+                v.resize(len, 0.0);
+                FieldData::F64(v)
+            }
+            ElemType::Bool => {
+                let mut v = Self::take_vec(&mut self.bools, len);
+                v.resize(len, false);
+                FieldData::Bool(v)
+            }
+        }
+    }
+
+    /// Check out a buffer holding a copy of `src` (the alias escape
+    /// hatch: operations copy a source that *is* their destination).
+    pub(crate) fn take_data_copy(&mut self, src: &FieldData) -> FieldData {
+        self.bump();
+        match src {
+            FieldData::I64(s) => {
+                let mut v = Self::take_vec(&mut self.ints, s.len());
+                v.extend_from_slice(s);
+                FieldData::I64(v)
+            }
+            FieldData::F64(s) => {
+                let mut v = Self::take_vec(&mut self.floats, s.len());
+                v.extend_from_slice(s);
+                FieldData::F64(v)
+            }
+            FieldData::Bool(s) => {
+                let mut v = Self::take_vec(&mut self.bools, s.len());
+                v.extend_from_slice(s);
+                FieldData::Bool(v)
+            }
+        }
+    }
+
+    /// Return a data buffer to the pool.
+    pub(crate) fn put_data(&mut self, d: FieldData) {
+        self.outstanding -= 1;
+        match d {
+            FieldData::I64(v) => Self::put_vec(&mut self.ints, v),
+            FieldData::F64(v) => Self::put_vec(&mut self.floats, v),
+            FieldData::Bool(v) => Self::put_vec(&mut self.bools, v),
+        }
+    }
+
+    /// A field-name string with `name`'s contents, reusing pooled capacity.
+    fn take_name(&mut self, name: &str) -> String {
+        let mut s = self.names.pop().unwrap_or_default();
+        s.clear();
+        s.push_str(name);
+        s
+    }
+
+    fn put_name(&mut self, s: String) {
+        if self.names.len() < MAX_POOL {
+            self.names.push(s);
+        }
+    }
+
+    /// Retire a freed field: its name and storage both return to the pool.
+    fn retire_field(&mut self, field: Field) {
+        self.put_name(field.name);
+        match field.data {
+            FieldData::I64(v) => Self::put_vec(&mut self.ints, v),
+            FieldData::F64(v) => Self::put_vec(&mut self.floats, v),
+            FieldData::Bool(v) => Self::put_vec(&mut self.bools, v),
+        }
+    }
+
+    fn pooled(&self) -> usize {
+        self.ints.len() + self.floats.len() + self.bools.len()
+    }
+}
+
+/// The shared-borrow side of a [`Machine::split_dst`] split: resolves any
+/// field *other than the destination*, any VP set's current context mask,
+/// and any VP set's geometry, for as long as the paired `&mut FieldData`
+/// destination borrow lives.
+pub(crate) struct Peers<'m> {
+    below: &'m [VpSet],
+    above: &'m [VpSet],
+    dst_vp: usize,
+    dst_index: usize,
+    dset_fields_below: &'m [Option<Field>],
+    dset_fields_above: &'m [Option<Field>],
+    dset_context: &'m ContextStack,
+    dset_geom: &'m Geometry,
+}
+
+impl<'m> Peers<'m> {
+    fn set(&self, vp: VpSetId) -> Result<&'m VpSet> {
+        if vp.0 < self.dst_vp {
+            self.below.get(vp.0).ok_or(CmError::UnknownVpSet)
+        } else {
+            self.above
+                .get(vp.0 - self.dst_vp - 1)
+                .ok_or(CmError::UnknownVpSet)
+        }
+    }
+
+    /// Borrow a source field's storage. The destination itself is
+    /// unreachable by construction; callers de-alias via
+    /// [`Machine::scratch_copy`] first, so hitting that arm is an internal
+    /// bug surfaced as an error rather than unsoundness.
+    pub(crate) fn src(&self, id: FieldId) -> Result<&'m FieldData> {
+        let slot = if id.vp.0 == self.dst_vp {
+            match id.index.cmp(&self.dst_index) {
+                std::cmp::Ordering::Equal => {
+                    return Err(CmError::Unsupported("internal: source aliases destination"))
+                }
+                std::cmp::Ordering::Less => self.dset_fields_below.get(id.index),
+                std::cmp::Ordering::Greater => {
+                    self.dset_fields_above.get(id.index - self.dst_index - 1)
+                }
+            }
+        } else {
+            self.set(id.vp)?.fields.get(id.index)
+        };
+        slot.and_then(|f| f.as_ref())
+            .map(|f| &f.data)
+            .ok_or(CmError::UnknownField)
+    }
+
+    /// Borrow the current activity mask of any VP set.
+    pub(crate) fn mask(&self, vp: VpSetId) -> Result<&'m [bool]> {
+        if vp.0 == self.dst_vp {
+            Ok(self.dset_context.current())
+        } else {
+            Ok(self.set(vp)?.context.current())
+        }
+    }
+
+    /// Borrow the geometry of any VP set.
+    pub(crate) fn geom(&self, vp: VpSetId) -> Result<&'m Geometry> {
+        if vp.0 == self.dst_vp {
+            Ok(self.dset_geom)
+        } else {
+            Ok(&self.set(vp)?.geom)
+        }
+    }
+}
+
 /// Machine configuration.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -47,6 +319,7 @@ impl Default for MachineConfig {
 pub struct Machine {
     pub(crate) config: MachineConfig,
     pub(crate) vpsets: Vec<VpSet>,
+    pub(crate) scratch: Scratch,
     clock: u64,
     counters: OpCounters,
 }
@@ -59,7 +332,13 @@ impl Machine {
 
     /// A machine with an explicit configuration.
     pub fn new(config: MachineConfig) -> Self {
-        Machine { config, vpsets: Vec::new(), clock: 0, counters: OpCounters::default() }
+        Machine {
+            config,
+            vpsets: Vec::new(),
+            scratch: Scratch::default(),
+            clock: 0,
+            counters: OpCounters::default(),
+        }
     }
 
     /// Number of physical processors.
@@ -129,13 +408,82 @@ impl Machine {
         Ok(self.vp(id)?.name.as_str())
     }
 
+    // ---- Split borrows and scratch --------------------------------------
+
+    /// Split the machine's storage around `dst`: a mutable borrow of the
+    /// destination field's data alongside a [`Peers`] view of everything
+    /// else (see the module docs for the aliasing invariant).
+    pub(crate) fn split_dst(&mut self, dst: FieldId) -> Result<(&mut FieldData, Peers<'_>)> {
+        if dst.vp.0 >= self.vpsets.len() {
+            return Err(CmError::UnknownVpSet);
+        }
+        let (below, rest) = self.vpsets.split_at_mut(dst.vp.0);
+        let (dset, above) = rest.split_first_mut().expect("index checked");
+        if dst.index >= dset.fields.len() {
+            return Err(CmError::UnknownField);
+        }
+        let VpSet { ref mut fields, ref context, ref geom, .. } = *dset;
+        let (fields_below, rest) = fields.split_at_mut(dst.index);
+        let (dslot, fields_above) = rest.split_first_mut().expect("index checked");
+        let dst_data = match dslot.as_mut() {
+            Some(f) => &mut f.data,
+            None => return Err(CmError::UnknownField),
+        };
+        Ok((
+            dst_data,
+            Peers {
+                below,
+                above,
+                dst_vp: dst.vp.0,
+                dst_index: dst.index,
+                dset_fields_below: fields_below,
+                dset_fields_above: fields_above,
+                dset_context: context,
+                dset_geom: geom,
+            },
+        ))
+    }
+
+    /// Copy field `id`'s data into a scratch buffer (the de-aliasing step
+    /// for operations whose source is also their destination). Return the
+    /// buffer with [`Scratch::put_data`] when done.
+    pub(crate) fn scratch_copy(&mut self, id: FieldId) -> Result<FieldData> {
+        let Machine { vpsets, scratch, .. } = self;
+        let src = vpsets
+            .get(id.vp.0)
+            .ok_or(CmError::UnknownVpSet)?
+            .fields
+            .get(id.index)
+            .and_then(|f| f.as_ref())
+            .ok_or(CmError::UnknownField)?;
+        Ok(scratch.take_data_copy(&src.data))
+    }
+
+    /// Peak number of scratch buffers checked out at once. Hot paths need
+    /// at most a handful (one alias copy plus one or two working buffers),
+    /// so a growing high-water mark indicates a scratch leak.
+    pub fn scratch_high_water(&self) -> usize {
+        self.scratch.high_water
+    }
+
+    /// Number of buffers currently parked in the scratch pool (bounded by
+    /// `MAX_POOL` per element type).
+    pub fn scratch_pooled(&self) -> usize {
+        self.scratch.pooled()
+    }
+
     // ---- Fields ---------------------------------------------------------
 
-    /// Allocate a zero-initialised field of `ty` on `vp`.
+    /// Allocate a zero-initialised field of `ty` on `vp`. Storage is drawn
+    /// from the scratch pool when available, so alloc/free cycles settle
+    /// into zero heap traffic.
     pub fn alloc(&mut self, vp: VpSetId, name: &str, ty: ElemType) -> Result<FieldId> {
+        let len = self.vp(vp)?.geom.size();
+        let field = Field {
+            name: self.scratch.take_name(name),
+            data: self.scratch.draw_field_data(ty, len),
+        };
         let set = self.vp_mut(vp)?;
-        let len = set.geom.size();
-        let field = Field::new(name, ty, len);
         let index = if let Some(slot) = set.free_slots.pop() {
             set.fields[slot] = Some(field);
             slot
@@ -161,14 +509,17 @@ impl Machine {
         self.alloc(vp, name, ElemType::Bool)
     }
 
-    /// Free a field, making its slot reusable. Using the id afterwards
-    /// yields [`CmError::UnknownField`].
+    /// Free a field, making its slot reusable and retiring its storage to
+    /// the scratch pool. Using the id afterwards yields
+    /// [`CmError::UnknownField`].
     pub fn free(&mut self, id: FieldId) -> Result<()> {
-        let set = self.vp_mut(id.vp)?;
+        let Machine { vpsets, scratch, .. } = self;
+        let set = vpsets.get_mut(id.vp.0).ok_or(CmError::UnknownVpSet)?;
         match set.fields.get_mut(id.index) {
             Some(slot @ Some(_)) => {
-                *slot = None;
+                let field = slot.take().expect("slot checked");
                 set.free_slots.push(id.index);
+                scratch.retire_field(field);
                 Ok(())
             }
             _ => Err(CmError::UnknownField),
@@ -269,20 +620,46 @@ impl Machine {
     /// Push `mask AND current` as the activity mask of `vp`. `mask` must be
     /// a bool field on `vp`.
     pub fn push_context(&mut self, mask: FieldId) -> Result<()> {
-        let bits = self.bool_data(mask)?.to_vec();
-        let size = bits.len();
-        self.vp_mut(mask.vp)?.context.push_and(&bits)?;
+        let size = self.push_ctx_inner(mask, false)?;
         self.tick(OpClass::Context, size);
         Ok(())
     }
 
     /// Push the `others` complement of `mask` within the enclosing context.
     pub fn push_context_others(&mut self, mask: FieldId) -> Result<()> {
-        let bits = self.bool_data(mask)?.to_vec();
-        let size = bits.len();
-        self.vp_mut(mask.vp)?.context.push_others(&bits)?;
+        let size = self.push_ctx_inner(mask, true)?;
         self.tick(OpClass::Context, size);
         Ok(())
+    }
+
+    /// Shared body of the two context pushes: borrows the mask field's bits
+    /// directly while mutating the same VP set's context stack (disjoint
+    /// struct fields), avoiding the former `to_vec()` of the mask.
+    fn push_ctx_inner(&mut self, mask: FieldId, others: bool) -> Result<usize> {
+        let set = self
+            .vpsets
+            .get_mut(mask.vp.0)
+            .ok_or(CmError::UnknownVpSet)?;
+        let VpSet { ref fields, ref mut context, .. } = *set;
+        let field = fields
+            .get(mask.index)
+            .and_then(|f| f.as_ref())
+            .ok_or(CmError::UnknownField)?;
+        let bits = match &field.data {
+            FieldData::Bool(v) => v.as_slice(),
+            other => {
+                return Err(CmError::TypeMismatch {
+                    expected: ElemType::Bool,
+                    found: other.elem_type(),
+                })
+            }
+        };
+        if others {
+            context.push_others(bits)?;
+        } else {
+            context.push_and(bits)?;
+        }
+        Ok(bits.len())
     }
 
     /// Pop the innermost activity mask of `vp`.

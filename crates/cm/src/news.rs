@@ -41,10 +41,8 @@ impl Machine {
         if dst.vp != src.vp {
             return Err(CmError::VpSetMismatch);
         }
-        let geom = self.vp(dst.vp)?.geom.clone();
-        geom.extent(axis)?; // validate axis
-        let size = geom.size();
-        let mask = self.vp(dst.vp)?.context.current().to_vec();
+        self.vp(dst.vp)?.geom.extent(axis)?; // validate axis
+        let size = self.vp(dst.vp)?.geom.size();
 
         let dst_ty = self.field(dst)?.elem_type();
         let src_ty = self.field(src)?.elem_type();
@@ -57,57 +55,66 @@ impl Machine {
             }
         }
 
-        // Precompute the source address for every destination VP. `None`
-        // means off-grid (resolved per the border policy).
-        let sources: Vec<Option<usize>> = par::map_index(size, |p| match border {
-            Border::Wrap => Some(geom.neighbor_wrap(p, axis, offset).expect("axis checked")),
-            _ => geom.neighbor(p, axis, offset).expect("axis checked"),
-        });
-
-        macro_rules! shift {
-            ($vec:ident, $variant:ident, $fill:expr) => {{
-                let src_vec = $vec.clone();
-                let dst_field = self.field_mut(dst)?;
-                let FieldData::$variant(d) = &mut dst_field.data else { unreachable!() };
-                for p in 0..size {
-                    if !mask[p] {
-                        continue;
+        // An in-place shift reads a scratch copy of the pre-shift values.
+        let tmp = if src == dst { Some(self.scratch_copy(dst)?) } else { None };
+        let res: Result<()> = (|| {
+            let (d, peers) = self.split_dst(dst)?;
+            let mask = peers.mask(dst.vp)?;
+            let geom = peers.geom(dst.vp)?;
+            let sdata =
+                if src == dst { tmp.as_ref().expect("alias copied") } else { peers.src(src)? };
+            // The source address of destination VP `p`; `None` is off-grid
+            // (resolved per the border policy). Resolved on the fly — no
+            // precomputed address vector.
+            let source = |p: usize| -> Option<usize> {
+                match border {
+                    Border::Wrap => {
+                        Some(geom.neighbor_wrap(p, axis, offset).expect("axis checked"))
                     }
-                    match sources[p] {
-                        Some(q) => d[p] = src_vec[q],
-                        None => {
-                            if let Some(f) = $fill {
-                                d[p] = f;
-                            } // Border::Keep leaves d[p] alone
-                        }
-                    }
+                    _ => geom.neighbor(p, axis, offset).expect("axis checked"),
                 }
-            }};
+            };
+            macro_rules! shift {
+                ($variant:ident, $fill:expr) => {{
+                    let FieldData::$variant(d) = d else { unreachable!() };
+                    let FieldData::$variant(s) = sdata else { unreachable!() };
+                    let fill = $fill;
+                    par::update_index_masked(d, mask, |p, old| match source(p) {
+                        Some(q) => s[q],
+                        // Border::Keep retains the old destination value.
+                        None => fill.unwrap_or(old),
+                    });
+                }};
+            }
+            match dst_ty {
+                crate::field::ElemType::Int => shift!(
+                    I64,
+                    match border {
+                        Border::Fill(s) => Some(s.as_int()),
+                        _ => None,
+                    }
+                ),
+                crate::field::ElemType::Float => shift!(
+                    F64,
+                    match border {
+                        Border::Fill(s) => Some(s.as_float()),
+                        _ => None,
+                    }
+                ),
+                crate::field::ElemType::Bool => shift!(
+                    Bool,
+                    match border {
+                        Border::Fill(s) => Some(s.as_bool()),
+                        _ => None,
+                    }
+                ),
+            }
+            Ok(())
+        })();
+        if let Some(t) = tmp {
+            self.scratch.put_data(t);
         }
-
-        match self.field(src)?.data.clone() {
-            FieldData::I64(v) => {
-                let fill = match border {
-                    Border::Fill(s) => Some(s.as_int()),
-                    _ => None,
-                };
-                shift!(v, I64, fill)
-            }
-            FieldData::F64(v) => {
-                let fill = match border {
-                    Border::Fill(s) => Some(s.as_float()),
-                    _ => None,
-                };
-                shift!(v, F64, fill)
-            }
-            FieldData::Bool(v) => {
-                let fill = match border {
-                    Border::Fill(s) => Some(s.as_bool()),
-                    _ => None,
-                };
-                shift!(v, Bool, fill)
-            }
-        }
+        res?;
 
         self.tick(OpClass::News, size);
         Ok(())

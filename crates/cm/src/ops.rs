@@ -161,16 +161,30 @@ impl Machine {
         self.vp_size(vp)
     }
 
-    fn mask_of(&self, id: FieldId) -> Result<Vec<bool>> {
-        Ok(self.vp(id.vp)?.context.current().to_vec())
+    /// Masked memcpy between two distinct same-typed fields of one VP set
+    /// (the shared tail of `copy` and identity `convert`).
+    fn copy_masked_split(&mut self, dst: FieldId, src: FieldId) -> Result<()> {
+        let (d, peers) = self.split_dst(dst)?;
+        let mask = peers.mask(dst.vp)?;
+        match (d, peers.src(src)?) {
+            (FieldData::I64(dv), FieldData::I64(sv)) => par::commit_masked(dv, sv, mask),
+            (FieldData::F64(dv), FieldData::F64(sv)) => par::commit_masked(dv, sv, mask),
+            (FieldData::Bool(dv), FieldData::Bool(sv)) => par::commit_masked(dv, sv, mask),
+            _ => unreachable!("types validated by caller"),
+        }
+        Ok(())
     }
 
-    fn commit(&mut self, dst: FieldId, out: FieldData, mask: &[bool]) -> Result<()> {
-        let field = self.field_mut(dst)?;
-        match (&mut field.data, out) {
-            (FieldData::I64(d), FieldData::I64(s)) => par::commit_masked(d, &s, mask),
-            (FieldData::F64(d), FieldData::F64(s)) => par::commit_masked(d, &s, mask),
-            (FieldData::Bool(d), FieldData::Bool(s)) => par::commit_masked(d, &s, mask),
+    /// `dst[i] = imm` for active `i`.
+    pub fn set_imm(&mut self, dst: FieldId, imm: Scalar) -> Result<()> {
+        let size = self.same_vp(&[dst])?;
+        self.tick(OpClass::Alu, size);
+        let (d, peers) = self.split_dst(dst)?;
+        let mask = peers.mask(dst.vp)?;
+        match (d, imm) {
+            (FieldData::I64(v), Scalar::Int(x)) => par::fill_masked(v, x, mask),
+            (FieldData::F64(v), Scalar::Float(x)) => par::fill_masked(v, x, mask),
+            (FieldData::Bool(v), Scalar::Bool(x)) => par::fill_masked(v, x, mask),
             (d, s) => {
                 return Err(CmError::TypeMismatch {
                     expected: d.elem_type(),
@@ -181,138 +195,206 @@ impl Machine {
         Ok(())
     }
 
-    /// `dst[i] = imm` for active `i`.
-    pub fn set_imm(&mut self, dst: FieldId, imm: Scalar) -> Result<()> {
-        let size = self.same_vp(&[dst])?;
-        let mask = self.mask_of(dst)?;
-        let out = match imm {
-            Scalar::Int(v) => FieldData::I64(vec![v; size]),
-            Scalar::Float(v) => FieldData::F64(vec![v; size]),
-            Scalar::Bool(v) => FieldData::Bool(vec![v; size]),
-        };
-        self.tick(OpClass::Alu, size);
-        self.commit(dst, out, &mask)
-    }
-
     /// `dst[i] = src[i]` for active `i`. Types must match.
     pub fn copy(&mut self, dst: FieldId, src: FieldId) -> Result<()> {
         let size = self.same_vp(&[dst, src])?;
-        let mask = self.mask_of(dst)?;
-        let out = self.field(src)?.data.clone();
+        let (dty, sty) = (self.field(dst)?.elem_type(), self.field(src)?.elem_type());
+        if dty != sty {
+            return Err(CmError::TypeMismatch { expected: dty, found: sty });
+        }
         self.tick(OpClass::Alu, size);
-        self.commit(dst, out, &mask)
+        if dst == src {
+            return Ok(());
+        }
+        self.copy_masked_split(dst, src)
     }
 
     /// `dst[i] = (dst_type) src[i]` for active `i`: numeric conversion.
     /// Int↔Float truncates toward zero; Bool↔numeric uses C truthiness.
     pub fn convert(&mut self, dst: FieldId, src: FieldId) -> Result<()> {
         let size = self.same_vp(&[dst, src])?;
-        let mask = self.mask_of(dst)?;
-        let dst_ty = self.field(dst)?.elem_type();
-        let out = match (&self.field(src)?.data, dst_ty) {
-            (FieldData::I64(v), ElemType::Float) => {
-                FieldData::F64(par::map1(v, |&x| x as f64))
-            }
-            (FieldData::I64(v), ElemType::Bool) => FieldData::Bool(par::map1(v, |&x| x != 0)),
-            (FieldData::F64(v), ElemType::Int) => FieldData::I64(par::map1(v, |&x| x as i64)),
-            (FieldData::F64(v), ElemType::Bool) => {
-                FieldData::Bool(par::map1(v, |&x| x != 0.0))
-            }
-            (FieldData::Bool(v), ElemType::Int) => FieldData::I64(par::map1(v, |&x| x as i64)),
-            (FieldData::Bool(v), ElemType::Float) => {
-                FieldData::F64(par::map1(v, |&x| (x as i64) as f64))
-            }
-            (same, _) if same.elem_type() == dst_ty => same.clone(),
-            (other, _) => {
-                return Err(CmError::TypeMismatch { expected: dst_ty, found: other.elem_type() })
-            }
-        };
+        let (dty, sty) = (self.field(dst)?.elem_type(), self.field(src)?.elem_type());
         self.tick(OpClass::Alu, size);
-        self.commit(dst, out, &mask)
+        if dty == sty {
+            // Identity cast: a masked memcpy, no intermediate buffer.
+            if dst == src {
+                return Ok(());
+            }
+            return self.copy_masked_split(dst, src);
+        }
+        // Cross-type: distinct element types means distinct fields, so the
+        // source can never alias the destination.
+        let (d, peers) = self.split_dst(dst)?;
+        let mask = peers.mask(dst.vp)?;
+        match (d, peers.src(src)?) {
+            (FieldData::F64(dv), FieldData::I64(sv)) => {
+                par::apply1_masked(dv, sv, mask, |&x| x as f64)
+            }
+            (FieldData::Bool(dv), FieldData::I64(sv)) => {
+                par::apply1_masked(dv, sv, mask, |&x| x != 0)
+            }
+            (FieldData::I64(dv), FieldData::F64(sv)) => {
+                par::apply1_masked(dv, sv, mask, |&x| x as i64)
+            }
+            (FieldData::Bool(dv), FieldData::F64(sv)) => {
+                par::apply1_masked(dv, sv, mask, |&x| x != 0.0)
+            }
+            (FieldData::I64(dv), FieldData::Bool(sv)) => {
+                par::apply1_masked(dv, sv, mask, |&x| x as i64)
+            }
+            (FieldData::F64(dv), FieldData::Bool(sv)) => {
+                par::apply1_masked(dv, sv, mask, |&x| (x as i64) as f64)
+            }
+            _ => unreachable!("identity casts handled above"),
+        }
+        Ok(())
     }
 
     /// Unary elementwise op.
     pub fn unop(&mut self, op: UnOp, dst: FieldId, src: FieldId) -> Result<()> {
         let size = self.same_vp(&[dst, src])?;
-        let mask = self.mask_of(dst)?;
-        let out = match (op, &self.field(src)?.data) {
-            (UnOp::Neg, FieldData::I64(v)) => FieldData::I64(par::map1(v, |&x| x.wrapping_neg())),
-            (UnOp::Neg, FieldData::F64(v)) => FieldData::F64(par::map1(v, |&x| -x)),
-            (UnOp::Abs, FieldData::I64(v)) => FieldData::I64(par::map1(v, |&x| x.abs())),
-            (UnOp::Abs, FieldData::F64(v)) => FieldData::F64(par::map1(v, |&x| x.abs())),
-            (UnOp::Not, FieldData::Bool(v)) => FieldData::Bool(par::map1(v, |&x| !x)),
-            (UnOp::BitNot, FieldData::I64(v)) => FieldData::I64(par::map1(v, |&x| !x)),
-            (_, d) => {
-                return Err(CmError::TypeMismatch {
-                    expected: ElemType::Int,
-                    found: d.elem_type(),
-                })
-            }
-        };
+        let sty = self.field(src)?.elem_type();
+        let valid = matches!(
+            (op, sty),
+            (UnOp::Neg | UnOp::Abs, ElemType::Int | ElemType::Float)
+                | (UnOp::Not, ElemType::Bool)
+                | (UnOp::BitNot, ElemType::Int)
+        );
+        if !valid {
+            return Err(CmError::TypeMismatch { expected: ElemType::Int, found: sty });
+        }
+        let dty = self.field(dst)?.elem_type();
+        if dty != sty {
+            return Err(CmError::TypeMismatch { expected: dty, found: sty });
+        }
         self.tick(OpClass::Alu, size);
-        self.commit(dst, out, &mask)
+        let tmp = if dst == src { Some(self.scratch_copy(dst)?) } else { None };
+        let res: Result<()> = (|| {
+            let (d, peers) = self.split_dst(dst)?;
+            let mask = peers.mask(dst.vp)?;
+            let s = match &tmp {
+                Some(t) => t,
+                None => peers.src(src)?,
+            };
+            match (op, d, s) {
+                (UnOp::Neg, FieldData::I64(dv), FieldData::I64(sv)) => {
+                    par::apply1_masked(dv, sv, mask, |&x| x.wrapping_neg())
+                }
+                (UnOp::Neg, FieldData::F64(dv), FieldData::F64(sv)) => {
+                    par::apply1_masked(dv, sv, mask, |&x| -x)
+                }
+                (UnOp::Abs, FieldData::I64(dv), FieldData::I64(sv)) => {
+                    par::apply1_masked(dv, sv, mask, |&x| x.abs())
+                }
+                (UnOp::Abs, FieldData::F64(dv), FieldData::F64(sv)) => {
+                    par::apply1_masked(dv, sv, mask, |&x| x.abs())
+                }
+                (UnOp::Not, FieldData::Bool(dv), FieldData::Bool(sv)) => {
+                    par::apply1_masked(dv, sv, mask, |&x| !x)
+                }
+                (UnOp::BitNot, FieldData::I64(dv), FieldData::I64(sv)) => {
+                    par::apply1_masked(dv, sv, mask, |&x| !x)
+                }
+                _ => unreachable!("op/type combination validated above"),
+            }
+            Ok(())
+        })();
+        if let Some(t) = tmp {
+            self.scratch.put_data(t);
+        }
+        res
     }
 
     /// Binary elementwise op: `dst[i] = a[i] op b[i]` for active `i`.
     pub fn binop(&mut self, op: BinOp, dst: FieldId, a: FieldId, b: FieldId) -> Result<()> {
         let size = self.same_vp(&[dst, a, b])?;
-        let mask = self.mask_of(dst)?;
-        let out = self.eval_binop(op, a, b, &mask)?;
-        self.tick(OpClass::Alu, size);
-        self.commit(dst, out, &mask)
-    }
-
-    fn eval_binop(&self, op: BinOp, a: FieldId, b: FieldId, mask: &[bool]) -> Result<FieldData> {
-        let fa = &self.field(a)?.data;
-        let fb = &self.field(b)?.data;
-        match (fa, fb) {
-            (FieldData::I64(x), FieldData::I64(y)) => {
-                if op.is_comparison() {
-                    Ok(FieldData::Bool(par::map2(x, y, |&p, &q| int_cmp(op, p, q))))
-                } else if op.is_logical() {
-                    Err(CmError::TypeMismatch { expected: ElemType::Bool, found: ElemType::Int })
-                } else {
-                    if matches!(op, BinOp::Div | BinOp::Mod)
-                        && par::any2(y, mask, |&q, &m| m && q == 0)
-                    {
-                        return Err(CmError::DivideByZero);
-                    }
-                    // Inactive positions may hold zero divisors; compute a
-                    // harmless value there (it is masked out on commit).
-                    if matches!(op, BinOp::Div | BinOp::Mod) {
-                        Ok(FieldData::I64(par::map2(x, y, |&p, &q| {
-                            if q == 0 {
-                                0
-                            } else {
-                                int_binop(op, p, q)
-                            }
-                        })))
-                    } else {
-                        Ok(FieldData::I64(par::map2(x, y, |&p, &q| int_binop(op, p, q))))
-                    }
+        let (ta, tb) = (self.field(a)?.elem_type(), self.field(b)?.elem_type());
+        if ta != tb {
+            return Err(CmError::TypeMismatch { expected: ta, found: tb });
+        }
+        match ta {
+            ElemType::Int => {
+                if op.is_logical() {
+                    return Err(CmError::TypeMismatch {
+                        expected: ElemType::Bool,
+                        found: ElemType::Int,
+                    });
                 }
             }
-            (FieldData::F64(x), FieldData::F64(y)) => {
-                if op.is_comparison() {
-                    Ok(FieldData::Bool(par::map2(x, y, |&p, &q| float_cmp(op, p, q))))
-                } else if op.is_logical() || op.int_only() {
-                    Err(CmError::Unsupported("integer/logical op on float field"))
-                } else {
-                    Ok(FieldData::F64(par::map2(x, y, |&p, &q| float_binop(op, p, q))))
+            ElemType::Float => {
+                if op.is_logical() || op.int_only() {
+                    return Err(CmError::Unsupported("integer/logical op on float field"));
                 }
             }
-            (FieldData::Bool(x), FieldData::Bool(y)) => match op {
-                BinOp::LogAnd => Ok(FieldData::Bool(par::map2(x, y, |&p, &q| p && q))),
-                BinOp::LogOr => Ok(FieldData::Bool(par::map2(x, y, |&p, &q| p || q))),
-                BinOp::LogXor => Ok(FieldData::Bool(par::map2(x, y, |&p, &q| p ^ q))),
-                BinOp::Eq => Ok(FieldData::Bool(par::map2(x, y, |&p, &q| p == q))),
-                BinOp::Ne => Ok(FieldData::Bool(par::map2(x, y, |&p, &q| p != q))),
-                _ => Err(CmError::Unsupported("arithmetic on bool field")),
-            },
-            (x, y) => {
-                Err(CmError::TypeMismatch { expected: x.elem_type(), found: y.elem_type() })
+            ElemType::Bool => {
+                if !matches!(
+                    op,
+                    BinOp::LogAnd | BinOp::LogOr | BinOp::LogXor | BinOp::Eq | BinOp::Ne
+                ) {
+                    return Err(CmError::Unsupported("arithmetic on bool field"));
+                }
             }
         }
+        let rty = op.result_type(ta);
+        let dty = self.field(dst)?.elem_type();
+        if dty != rty {
+            return Err(CmError::TypeMismatch { expected: dty, found: rty });
+        }
+        // Active zero divisors are an error; inactive ones are fine because
+        // the masked apply below never evaluates inactive positions.
+        if ta == ElemType::Int && matches!(op, BinOp::Div | BinOp::Mod) {
+            let FieldData::I64(y) = &self.field(b)?.data else { unreachable!() };
+            let mask = self.vp(dst.vp)?.context.current();
+            if par::any2(y, mask, |&q, &m| m && q == 0) {
+                return Err(CmError::DivideByZero);
+            }
+        }
+        self.tick(OpClass::Alu, size);
+        // Any aliased source equals dst, so one scratch copy covers both.
+        let tmp = if a == dst || b == dst { Some(self.scratch_copy(dst)?) } else { None };
+        let res: Result<()> = (|| {
+            let (d, peers) = self.split_dst(dst)?;
+            let mask = peers.mask(dst.vp)?;
+            let fa = if a == dst { tmp.as_ref().expect("alias copied") } else { peers.src(a)? };
+            let fb = if b == dst { tmp.as_ref().expect("alias copied") } else { peers.src(b)? };
+            match (fa, fb) {
+                (FieldData::I64(x), FieldData::I64(y)) => {
+                    if op.is_comparison() {
+                        let FieldData::Bool(dv) = d else { unreachable!() };
+                        par::apply2_masked(dv, x, y, mask, |&p, &q| int_cmp(op, p, q));
+                    } else {
+                        let FieldData::I64(dv) = d else { unreachable!() };
+                        par::apply2_masked(dv, x, y, mask, |&p, &q| int_binop(op, p, q));
+                    }
+                }
+                (FieldData::F64(x), FieldData::F64(y)) => {
+                    if op.is_comparison() {
+                        let FieldData::Bool(dv) = d else { unreachable!() };
+                        par::apply2_masked(dv, x, y, mask, |&p, &q| float_cmp(op, p, q));
+                    } else {
+                        let FieldData::F64(dv) = d else { unreachable!() };
+                        par::apply2_masked(dv, x, y, mask, |&p, &q| float_binop(op, p, q));
+                    }
+                }
+                (FieldData::Bool(x), FieldData::Bool(y)) => {
+                    let FieldData::Bool(dv) = d else { unreachable!() };
+                    match op {
+                        BinOp::LogAnd => par::apply2_masked(dv, x, y, mask, |&p, &q| p && q),
+                        BinOp::LogOr => par::apply2_masked(dv, x, y, mask, |&p, &q| p || q),
+                        BinOp::LogXor => par::apply2_masked(dv, x, y, mask, |&p, &q| p ^ q),
+                        BinOp::Eq => par::apply2_masked(dv, x, y, mask, |&p, &q| p == q),
+                        BinOp::Ne => par::apply2_masked(dv, x, y, mask, |&p, &q| p != q),
+                        _ => unreachable!("op validated above"),
+                    }
+                }
+                _ => unreachable!("operand types validated above"),
+            }
+            Ok(())
+        })();
+        if let Some(t) = tmp {
+            self.scratch.put_data(t);
+        }
+        res
     }
 
     /// `dst[i] = a[i] op imm` for active `i`.
@@ -341,16 +423,16 @@ impl Machine {
     /// where router scatters may have written outside the current mask.
     pub fn copy_unconditional(&mut self, dst: FieldId, src: FieldId) -> Result<()> {
         let size = self.same_vp(&[dst, src])?;
-        let data = self.field(src)?.data.clone();
-        let dst_field = self.field_mut(dst)?;
-        if dst_field.data.elem_type() != data.elem_type() {
-            return Err(CmError::TypeMismatch {
-                expected: dst_field.data.elem_type(),
-                found: data.elem_type(),
-            });
+        let (dty, sty) = (self.field(dst)?.elem_type(), self.field(src)?.elem_type());
+        if dty != sty {
+            return Err(CmError::TypeMismatch { expected: dty, found: sty });
         }
-        dst_field.data = data;
         self.tick(OpClass::Alu, size);
+        if dst == src {
+            return Ok(());
+        }
+        let (d, peers) = self.split_dst(dst)?;
+        d.clone_from_reusing(peers.src(src)?);
         Ok(())
     }
 
@@ -398,36 +480,58 @@ impl Machine {
     /// `dst[i] = cond[i] ? a[i] : b[i]` for active `i`.
     pub fn select(&mut self, dst: FieldId, cond: FieldId, a: FieldId, b: FieldId) -> Result<()> {
         let size = self.same_vp(&[dst, cond, a, b])?;
-        let mask = self.mask_of(dst)?;
-        let c = self.bool_data(cond)?.to_vec();
-        let fa = &self.field(a)?.data;
-        let fb = &self.field(b)?.data;
-        let out = match (fa, fb) {
-            (FieldData::I64(x), FieldData::I64(y)) => {
-                FieldData::I64(par::map3(x, y, &c, |&p, &q, &m| if m { p } else { q }))
-            }
-            (FieldData::F64(x), FieldData::F64(y)) => {
-                FieldData::F64(par::map3(x, y, &c, |&p, &q, &m| if m { p } else { q }))
-            }
-            (FieldData::Bool(x), FieldData::Bool(y)) => {
-                FieldData::Bool(par::map3(x, y, &c, |&p, &q, &m| if m { p } else { q }))
-            }
-            (x, y) => {
-                return Err(CmError::TypeMismatch { expected: x.elem_type(), found: y.elem_type() })
-            }
-        };
+        let cty = self.field(cond)?.elem_type();
+        if cty != ElemType::Bool {
+            return Err(CmError::TypeMismatch { expected: ElemType::Bool, found: cty });
+        }
+        let (ta, tb) = (self.field(a)?.elem_type(), self.field(b)?.elem_type());
+        if ta != tb {
+            return Err(CmError::TypeMismatch { expected: ta, found: tb });
+        }
+        let dty = self.field(dst)?.elem_type();
+        if dty != ta {
+            return Err(CmError::TypeMismatch { expected: dty, found: ta });
+        }
         self.tick(OpClass::Alu, size);
-        self.commit(dst, out, &mask)
+        let aliased = cond == dst || a == dst || b == dst;
+        let tmp = if aliased { Some(self.scratch_copy(dst)?) } else { None };
+        let res: Result<()> = (|| {
+            let (d, peers) = self.split_dst(dst)?;
+            let mask = peers.mask(dst.vp)?;
+            let fc = if cond == dst { tmp.as_ref().expect("alias copied") } else { peers.src(cond)? };
+            let fa = if a == dst { tmp.as_ref().expect("alias copied") } else { peers.src(a)? };
+            let fb = if b == dst { tmp.as_ref().expect("alias copied") } else { peers.src(b)? };
+            let FieldData::Bool(c) = fc else { unreachable!() };
+            match (d, fa, fb) {
+                (FieldData::I64(dv), FieldData::I64(x), FieldData::I64(y)) => {
+                    par::apply3_masked(dv, x, y, c, mask, |&p, &q, &m| if m { p } else { q })
+                }
+                (FieldData::F64(dv), FieldData::F64(x), FieldData::F64(y)) => {
+                    par::apply3_masked(dv, x, y, c, mask, |&p, &q, &m| if m { p } else { q })
+                }
+                (FieldData::Bool(dv), FieldData::Bool(x), FieldData::Bool(y)) => {
+                    par::apply3_masked(dv, x, y, c, mask, |&p, &q, &m| if m { p } else { q })
+                }
+                _ => unreachable!("types validated above"),
+            }
+            Ok(())
+        })();
+        if let Some(t) = tmp {
+            self.scratch.put_data(t);
+        }
+        res
     }
 
     /// `dst[i] = i` (the VP's send address) for active `i`. `dst` must be Int.
     pub fn iota(&mut self, dst: FieldId) -> Result<()> {
         let size = self.same_vp(&[dst])?;
-        let mask = self.mask_of(dst)?;
         self.int_data(dst)?; // type check
-        let out = FieldData::I64(par::map_index(size, |i| i as i64));
         self.tick(OpClass::Alu, size);
-        self.commit(dst, out, &mask)
+        let (d, peers) = self.split_dst(dst)?;
+        let mask = peers.mask(dst.vp)?;
+        let FieldData::I64(dv) = d else { unreachable!() };
+        par::apply_index_masked(dv, mask, |i| i as i64);
+        Ok(())
     }
 
     /// `dst[i] = coordinate of VP i along axis` for active `i`.
@@ -437,15 +541,17 @@ impl Machine {
     /// identifier is the self-coordinate along one axis.
     pub fn axis_coord(&mut self, dst: FieldId, axis: usize) -> Result<()> {
         let size = self.same_vp(&[dst])?;
-        let mask = self.mask_of(dst)?;
         self.int_data(dst)?;
-        let geom = self.vp(dst.vp)?.geom.clone();
-        geom.extent(axis)?;
-        let out = FieldData::I64(par::map_index(size, |i| {
-            geom.axis_coordinate(i, axis).expect("axis checked") as i64
-        }));
+        self.vp(dst.vp)?.geom.extent(axis)?;
         self.tick(OpClass::Alu, size);
-        self.commit(dst, out, &mask)
+        let (d, peers) = self.split_dst(dst)?;
+        let mask = peers.mask(dst.vp)?;
+        let geom = peers.geom(dst.vp)?;
+        let FieldData::I64(dv) = d else { unreachable!() };
+        par::apply_index_masked(dv, mask, |i| {
+            geom.axis_coordinate(i, axis).expect("axis checked") as i64
+        });
+        Ok(())
     }
 
     /// `dst[i] = uniform random in [0, modulus)` for active `i`,
@@ -456,14 +562,16 @@ impl Machine {
             return Err(CmError::DivideByZero);
         }
         let size = self.same_vp(&[dst])?;
-        let mask = self.mask_of(dst)?;
         self.int_data(dst)?;
-        let out = FieldData::I64(par::map_index(size, |i| {
+        self.tick(OpClass::Alu, size);
+        let (d, peers) = self.split_dst(dst)?;
+        let mask = peers.mask(dst.vp)?;
+        let FieldData::I64(dv) = d else { unreachable!() };
+        par::apply_index_masked(dv, mask, |i| {
             (splitmix64(seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407)) % modulus as u64)
                 as i64
-        }));
-        self.tick(OpClass::Alu, size);
-        self.commit(dst, out, &mask)
+        });
+        Ok(())
     }
 
     /// Materialise the current activity mask of `dst`'s VP set into `dst`
@@ -472,10 +580,10 @@ impl Machine {
     pub fn read_context(&mut self, dst: FieldId) -> Result<()> {
         let size = self.same_vp(&[dst])?;
         self.bool_data(dst)?; // type check
-        let mask = self.vp(dst.vp)?.context.current().to_vec();
-        let field = self.field_mut(dst)?;
-        let FieldData::Bool(d) = &mut field.data else { unreachable!() };
-        d.copy_from_slice(&mask);
+        let (d, peers) = self.split_dst(dst)?;
+        let mask = peers.mask(dst.vp)?;
+        let FieldData::Bool(dv) = d else { unreachable!() };
+        dv.copy_from_slice(mask);
         self.tick(OpClass::Context, size);
         Ok(())
     }

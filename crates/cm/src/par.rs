@@ -163,6 +163,181 @@ pub fn commit_masked<T: Copy + Send + Sync>(dst: &mut [T], src: &[T], mask: &[bo
     }
 }
 
+/// Masked in-place elementwise map of one source: `dst[i] = f(a[i])`
+/// wherever `mask[i]`. Writes nothing at inactive positions, so `dst` is
+/// never read — callers pass the destination field's storage directly.
+pub fn apply1_masked<A, T, F>(dst: &mut [T], a: &[A], mask: &[bool], f: F)
+where
+    A: Sync,
+    T: Send,
+    F: Fn(&A) -> T + Sync + Send,
+{
+    assert_eq!(dst.len(), a.len(), "apply1 length mismatch");
+    assert_eq!(dst.len(), mask.len(), "apply1 mask length mismatch");
+    if dst.len() >= PAR_THRESHOLD {
+        dst.par_iter_mut()
+            .zip(a.par_iter())
+            .zip(mask.par_iter())
+            .with_min_len(CHUNK_MIN)
+            .for_each(|((d, x), &m)| {
+                if m {
+                    *d = f(x);
+                }
+            });
+    } else {
+        for ((d, x), &m) in dst.iter_mut().zip(a).zip(mask) {
+            if m {
+                *d = f(x);
+            }
+        }
+    }
+}
+
+/// Masked in-place elementwise map of two sources:
+/// `dst[i] = f(a[i], b[i])` wherever `mask[i]`.
+pub fn apply2_masked<A, B, T, F>(dst: &mut [T], a: &[A], b: &[B], mask: &[bool], f: F)
+where
+    A: Sync,
+    B: Sync,
+    T: Send,
+    F: Fn(&A, &B) -> T + Sync + Send,
+{
+    assert_eq!(dst.len(), a.len(), "apply2 length mismatch");
+    assert_eq!(dst.len(), b.len(), "apply2 length mismatch");
+    assert_eq!(dst.len(), mask.len(), "apply2 mask length mismatch");
+    if dst.len() >= PAR_THRESHOLD {
+        dst.par_iter_mut()
+            .zip(a.par_iter())
+            .zip(b.par_iter())
+            .zip(mask.par_iter())
+            .with_min_len(CHUNK_MIN)
+            .for_each(|(((d, x), y), &m)| {
+                if m {
+                    *d = f(x, y);
+                }
+            });
+    } else {
+        for (((d, x), y), &m) in dst.iter_mut().zip(a).zip(b).zip(mask) {
+            if m {
+                *d = f(x, y);
+            }
+        }
+    }
+}
+
+/// Masked in-place elementwise map of three sources:
+/// `dst[i] = f(a[i], b[i], c[i])` wherever `mask[i]` (the `select` op).
+pub fn apply3_masked<A, B, C, T, F>(dst: &mut [T], a: &[A], b: &[B], c: &[C], mask: &[bool], f: F)
+where
+    A: Sync,
+    B: Sync,
+    C: Sync,
+    T: Send,
+    F: Fn(&A, &B, &C) -> T + Sync + Send,
+{
+    assert_eq!(dst.len(), a.len(), "apply3 length mismatch");
+    assert_eq!(dst.len(), b.len(), "apply3 length mismatch");
+    assert_eq!(dst.len(), c.len(), "apply3 length mismatch");
+    assert_eq!(dst.len(), mask.len(), "apply3 mask length mismatch");
+    if dst.len() >= PAR_THRESHOLD {
+        dst.par_iter_mut()
+            .zip(a.par_iter())
+            .zip(b.par_iter())
+            .zip(c.par_iter())
+            .zip(mask.par_iter())
+            .with_min_len(CHUNK_MIN)
+            .for_each(|((((d, x), y), z), &m)| {
+                if m {
+                    *d = f(x, y, z);
+                }
+            });
+    } else {
+        for ((((d, x), y), z), &m) in dst.iter_mut().zip(a).zip(b).zip(c).zip(mask) {
+            if m {
+                *d = f(x, y, z);
+            }
+        }
+    }
+}
+
+/// Masked in-place indexed map: `dst[i] = f(i)` wherever `mask[i]`
+/// (iota, coordinates, per-VP PRNG).
+pub fn apply_index_masked<T, F>(dst: &mut [T], mask: &[bool], f: F)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync + Send,
+{
+    assert_eq!(dst.len(), mask.len(), "apply_index mask length mismatch");
+    if dst.len() >= PAR_THRESHOLD {
+        (0..dst.len())
+            .into_par_iter()
+            .zip(dst.par_iter_mut())
+            .zip(mask.par_iter())
+            .with_min_len(CHUNK_MIN)
+            .for_each(|((i, d), &m)| {
+                if m {
+                    *d = f(i);
+                }
+            });
+    } else {
+        for ((i, d), &m) in dst.iter_mut().enumerate().zip(mask) {
+            if m {
+                *d = f(i);
+            }
+        }
+    }
+}
+
+/// Masked in-place update with index and the previous value:
+/// `dst[i] = f(i, dst[i])` wherever `mask[i]` (NEWS shifts with
+/// `Border::Keep`, which must preserve the old value at the border).
+pub fn update_index_masked<T, F>(dst: &mut [T], mask: &[bool], f: F)
+where
+    T: Copy + Send + Sync,
+    F: Fn(usize, T) -> T + Sync + Send,
+{
+    assert_eq!(dst.len(), mask.len(), "update_index mask length mismatch");
+    if dst.len() >= PAR_THRESHOLD {
+        (0..dst.len())
+            .into_par_iter()
+            .zip(dst.par_iter_mut())
+            .zip(mask.par_iter())
+            .with_min_len(CHUNK_MIN)
+            .for_each(|((i, d), &m)| {
+                if m {
+                    *d = f(i, *d);
+                }
+            });
+    } else {
+        for ((i, d), &m) in dst.iter_mut().enumerate().zip(mask) {
+            if m {
+                *d = f(i, *d);
+            }
+        }
+    }
+}
+
+/// Masked fill: `dst[i] = value` wherever `mask[i]` (`set_imm`).
+pub fn fill_masked<T: Copy + Send + Sync>(dst: &mut [T], value: T, mask: &[bool]) {
+    assert_eq!(dst.len(), mask.len(), "fill mask length mismatch");
+    if dst.len() >= PAR_THRESHOLD {
+        dst.par_iter_mut()
+            .zip(mask.par_iter())
+            .with_min_len(CHUNK_MIN)
+            .for_each(|(d, &m)| {
+                if m {
+                    *d = value;
+                }
+            });
+    } else {
+        for (d, &m) in dst.iter_mut().zip(mask) {
+            if m {
+                *d = value;
+            }
+        }
+    }
+}
+
 /// Masked gather: `dst[i] = src[addrs[i]]` wherever `mask[i]` — the
 /// router's **get** inner loop. Addresses at active positions must be in
 /// bounds (the router validates before calling).

@@ -12,7 +12,7 @@
 //! results even for non-commutative uses.
 
 use crate::cost::OpClass;
-use crate::field::{FieldData, FieldId};
+use crate::field::{ElemType, FieldData, FieldId};
 use crate::machine::Machine;
 use crate::par;
 use crate::{CmError, Result};
@@ -82,56 +82,87 @@ impl Machine {
         if dst_ty != src_ty {
             return Err(CmError::TypeMismatch { expected: dst_ty, found: src_ty });
         }
-        let addrs = self.int_data(addr)?.to_vec();
-        let mask = self.vp(src.vp)?.context.current().to_vec();
-        check_addrs(&addrs, &mask, dst_size)?;
+        {
+            // Address validation borrows the address field and the sender
+            // mask side by side; nothing is copied.
+            let addrs = self.int_data(addr)?;
+            let mask = self.vp(src.vp)?.context.current();
+            check_addrs(addrs, mask, dst_size)?;
+        }
+        let combiner_ok = matches!(
+            (src_ty, combine),
+            (
+                ElemType::Int | ElemType::Float,
+                Combine::Overwrite | Combine::Add | Combine::Mul | Combine::Min | Combine::Max
+            ) | (ElemType::Bool, Combine::Or | Combine::And | Combine::Overwrite)
+        );
+        if !combiner_ok {
+            return Err(CmError::Unsupported("combiner not defined for this field type"));
+        }
+
+        // Any alias (src and/or addr equal to dst) is de-aliased with one
+        // scratch copy: aliased operands are all the same field as dst.
+        let mut hit = self.scratch.take_bools_zeroed(dst_size);
+        let tmp = if src == dst || addr == dst { Some(self.scratch_copy(dst)?) } else { None };
 
         // Delivery is simulated sequentially in sender order: combining
         // order is part of the documented semantics (`Overwrite` = last
         // sender wins), so the combining loop must not be parallelised —
         // only the address validation above fans out.
         let mut conflict = false;
-        macro_rules! deliver {
-            ($srcvec:expr, $dstvariant:ident, $combine_fn:expr) => {{
-                let values = $srcvec.clone();
-                let mut hit = vec![false; dst_size];
-                let field = self.field_mut(dst)?;
-                let FieldData::$dstvariant(d) = &mut field.data else { unreachable!() };
-                for i in 0..src_size {
-                    if !mask[i] {
-                        continue;
-                    }
-                    let a = addrs[i] as usize;
-                    let v = values[i];
-                    if hit[a] {
-                        if d[a] != v {
-                            conflict = true;
+        let res: Result<()> = (|| {
+            let (d, peers) = self.split_dst(dst)?;
+            let mask = peers.mask(src.vp)?;
+            let addr_data =
+                if addr == dst { tmp.as_ref().expect("alias copied") } else { peers.src(addr)? };
+            let FieldData::I64(addrs) = addr_data else { unreachable!("addr type checked") };
+            let values =
+                if src == dst { tmp.as_ref().expect("alias copied") } else { peers.src(src)? };
+            macro_rules! deliver {
+                ($variant:ident, $combine_fn:expr) => {{
+                    let FieldData::$variant(d) = d else { unreachable!() };
+                    let FieldData::$variant(values) = values else { unreachable!() };
+                    for i in 0..src_size {
+                        if !mask[i] {
+                            continue;
                         }
-                        d[a] = $combine_fn(d[a], v);
-                    } else {
-                        d[a] = v;
-                        hit[a] = true;
+                        let a = addrs[i] as usize;
+                        let v = values[i];
+                        if hit[a] {
+                            if d[a] != v {
+                                conflict = true;
+                            }
+                            d[a] = $combine_fn(d[a], v);
+                        } else {
+                            d[a] = v;
+                            hit[a] = true;
+                        }
                     }
-                }
-            }};
+                }};
+            }
+            match (src_ty, combine) {
+                (ElemType::Int, Combine::Overwrite) => deliver!(I64, |_old, new| new),
+                (ElemType::Int, Combine::Add) => deliver!(I64, |o: i64, n: i64| o.wrapping_add(n)),
+                (ElemType::Int, Combine::Mul) => deliver!(I64, |o: i64, n: i64| o.wrapping_mul(n)),
+                (ElemType::Int, Combine::Min) => deliver!(I64, |o: i64, n: i64| o.min(n)),
+                (ElemType::Int, Combine::Max) => deliver!(I64, |o: i64, n: i64| o.max(n)),
+                (ElemType::Float, Combine::Overwrite) => deliver!(F64, |_o, n| n),
+                (ElemType::Float, Combine::Add) => deliver!(F64, |o: f64, n: f64| o + n),
+                (ElemType::Float, Combine::Mul) => deliver!(F64, |o: f64, n: f64| o * n),
+                (ElemType::Float, Combine::Min) => deliver!(F64, |o: f64, n: f64| o.min(n)),
+                (ElemType::Float, Combine::Max) => deliver!(F64, |o: f64, n: f64| o.max(n)),
+                (ElemType::Bool, Combine::Or) => deliver!(Bool, |o, n| o || n),
+                (ElemType::Bool, Combine::And) => deliver!(Bool, |o, n| o && n),
+                (ElemType::Bool, Combine::Overwrite) => deliver!(Bool, |_o, n| n),
+                _ => unreachable!("combiner validated above"),
+            }
+            Ok(())
+        })();
+        if let Some(t) = tmp {
+            self.scratch.put_data(t);
         }
-
-        match (&self.field(src)?.data.clone(), combine) {
-            (FieldData::I64(v), Combine::Overwrite) => deliver!(v, I64, |_old, new| new),
-            (FieldData::I64(v), Combine::Add) => deliver!(v, I64, |o: i64, n: i64| o.wrapping_add(n)),
-            (FieldData::I64(v), Combine::Mul) => deliver!(v, I64, |o: i64, n: i64| o.wrapping_mul(n)),
-            (FieldData::F64(v), Combine::Mul) => deliver!(v, F64, |o: f64, n: f64| o * n),
-            (FieldData::I64(v), Combine::Min) => deliver!(v, I64, |o: i64, n: i64| o.min(n)),
-            (FieldData::I64(v), Combine::Max) => deliver!(v, I64, |o: i64, n: i64| o.max(n)),
-            (FieldData::F64(v), Combine::Overwrite) => deliver!(v, F64, |_o, n| n),
-            (FieldData::F64(v), Combine::Add) => deliver!(v, F64, |o: f64, n: f64| o + n),
-            (FieldData::F64(v), Combine::Min) => deliver!(v, F64, |o: f64, n: f64| o.min(n)),
-            (FieldData::F64(v), Combine::Max) => deliver!(v, F64, |o: f64, n: f64| o.max(n)),
-            (FieldData::Bool(v), Combine::Or) => deliver!(v, Bool, |o, n| o || n),
-            (FieldData::Bool(v), Combine::And) => deliver!(v, Bool, |o, n| o && n),
-            (FieldData::Bool(v), Combine::Overwrite) => deliver!(v, Bool, |_o, n| n),
-            _ => return Err(CmError::Unsupported("combiner not defined for this field type")),
-        }
+        self.scratch.put_bools(hit);
+        res?;
 
         self.tick(OpClass::Router, src_size.max(dst_size));
         Ok(conflict)
@@ -153,25 +184,35 @@ impl Machine {
         if dst_ty != src_ty {
             return Err(CmError::TypeMismatch { expected: dst_ty, found: src_ty });
         }
-        let addrs = self.int_data(addr)?.to_vec();
-        let mask = self.vp(dst.vp)?.context.current().to_vec();
-        check_addrs(&addrs, &mask, src_size)?;
+        {
+            let addrs = self.int_data(addr)?;
+            let mask = self.vp(dst.vp)?.context.current();
+            check_addrs(addrs, mask, src_size)?;
+        }
 
+        let tmp = if src == dst || addr == dst { Some(self.scratch_copy(dst)?) } else { None };
         // Unlike send, the gather has no collisions — every destination
         // reads independently — so it fans out on the thread pool.
-        macro_rules! gather {
-            ($srcvec:expr, $variant:ident) => {{
-                let values = $srcvec.clone();
-                let field = self.field_mut(dst)?;
-                let FieldData::$variant(d) = &mut field.data else { unreachable!() };
-                par::gather_masked(d, &values, &addrs, &mask);
-            }};
+        let res: Result<()> = (|| {
+            let (d, peers) = self.split_dst(dst)?;
+            let mask = peers.mask(dst.vp)?;
+            let addr_data =
+                if addr == dst { tmp.as_ref().expect("alias copied") } else { peers.src(addr)? };
+            let FieldData::I64(addrs) = addr_data else { unreachable!("addr type checked") };
+            let values =
+                if src == dst { tmp.as_ref().expect("alias copied") } else { peers.src(src)? };
+            match (d, values) {
+                (FieldData::I64(d), FieldData::I64(v)) => par::gather_masked(d, v, addrs, mask),
+                (FieldData::F64(d), FieldData::F64(v)) => par::gather_masked(d, v, addrs, mask),
+                (FieldData::Bool(d), FieldData::Bool(v)) => par::gather_masked(d, v, addrs, mask),
+                _ => unreachable!("types validated above"),
+            }
+            Ok(())
+        })();
+        if let Some(t) = tmp {
+            self.scratch.put_data(t);
         }
-        match &self.field(src)?.data.clone() {
-            FieldData::I64(v) => gather!(v, I64),
-            FieldData::F64(v) => gather!(v, F64),
-            FieldData::Bool(v) => gather!(v, Bool),
-        }
+        res?;
 
         self.tick(OpClass::Router, dst_size.max(src_size));
         Ok(())

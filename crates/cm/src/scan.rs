@@ -78,11 +78,14 @@ impl Machine {
     /// front-end scalar. Empty active set ⇒ the operator identity.
     pub fn reduce(&mut self, src: FieldId, op: ReduceOp) -> Result<Scalar> {
         let size = self.vp_size(src.vp)?;
-        let mask = self.vp(src.vp)?.context.current().to_vec();
-        let result = match &self.field(src)?.data {
-            FieldData::I64(v) => reduce_int(v, &mask, op),
-            FieldData::F64(v) => reduce_float(v, &mask, op)?,
-            FieldData::Bool(v) => reduce_bool(v, &mask, op)?,
+        let result = {
+            // Mask and data are two shared borrows; nothing is copied.
+            let mask = self.vp(src.vp)?.context.current();
+            match &self.field(src)?.data {
+                FieldData::I64(v) => reduce_int(v, mask, op),
+                FieldData::F64(v) => reduce_float(v, mask, op)?,
+                FieldData::Bool(v) => reduce_bool(v, mask, op)?,
+            }
         };
         self.tick(OpClass::Scan, size);
         Ok(result)
@@ -125,112 +128,157 @@ impl Machine {
         if dst_ty != src_ty {
             return Err(CmError::TypeMismatch { expected: dst_ty, found: src_ty });
         }
-        let mask = self.vp(src.vp)?.context.current().to_vec();
-        let segs: Option<Vec<bool>> = match segments {
-            Some(s) => {
-                if s.vp != src.vp {
-                    return Err(CmError::VpSetMismatch);
-                }
-                Some(self.bool_data(s)?.to_vec())
+        if let Some(s) = segments {
+            if s.vp != src.vp {
+                return Err(CmError::VpSetMismatch);
             }
-            None => None,
+            self.bool_data(s)?; // type check
+        }
+        let op_ok = match src_ty {
+            ElemType::Int | ElemType::Float => {
+                matches!(op, ReduceOp::Add | ReduceOp::Mul | ReduceOp::Min | ReduceOp::Max)
+            }
+            ElemType::Bool => matches!(op, ReduceOp::Or | ReduceOp::And | ReduceOp::Xor),
         };
-
-        macro_rules! scan_impl {
-            ($vec:expr, $variant:ident, $id:expr, $fold:expr) => {{
-                let v = $vec.clone();
-                let out = scan_values(&v, &mask, segs.as_deref(), $id, $fold, inclusive);
-                let field = self.field_mut(dst)?;
-                let FieldData::$variant(d) = &mut field.data else { unreachable!() };
-                par::commit_masked(d, &out, &mask);
-            }};
+        if !op_ok {
+            return Err(CmError::Unsupported(match src_ty {
+                ElemType::Int => "scan op on int field",
+                ElemType::Float => "scan op on float field",
+                ElemType::Bool => "scan op on bool field",
+            }));
         }
 
-        match &self.field(src)?.data.clone() {
-            FieldData::I64(v) => match op {
-                ReduceOp::Add => scan_impl!(v, I64, 0i64, |a: i64, b: i64| a.wrapping_add(b)),
-                ReduceOp::Mul => scan_impl!(v, I64, 1i64, |a: i64, b: i64| a.wrapping_mul(b)),
-                ReduceOp::Min => scan_impl!(v, I64, INT_INF, |a: i64, b: i64| a.min(b)),
-                ReduceOp::Max => scan_impl!(v, I64, INT_NEG_INF, |a: i64, b: i64| a.max(b)),
-                _ => return Err(CmError::Unsupported("scan op on int field")),
-            },
-            FieldData::F64(v) => match op {
-                ReduceOp::Add => scan_impl!(v, F64, 0.0f64, |a: f64, b: f64| a + b),
-                ReduceOp::Mul => scan_impl!(v, F64, 1.0f64, |a: f64, b: f64| a * b),
-                ReduceOp::Min => scan_impl!(v, F64, f64::INFINITY, |a: f64, b: f64| a.min(b)),
-                ReduceOp::Max => {
-                    scan_impl!(v, F64, f64::NEG_INFINITY, |a: f64, b: f64| a.max(b))
+        // Any aliased operand (source or segment field equal to dst) reads
+        // a single scratch copy of dst's pre-scan contents.
+        let aliased = src == dst || segments == Some(dst);
+        let tmp = if aliased { Some(self.scratch_copy(dst)?) } else { None };
+        let res: Result<()> = (|| {
+            let (d, peers) = self.split_dst(dst)?;
+            let mask = peers.mask(dst.vp)?;
+            let sdata =
+                if src == dst { tmp.as_ref().expect("alias copied") } else { peers.src(src)? };
+            let segs: Option<&[bool]> = match segments {
+                Some(s) => {
+                    let sd =
+                        if s == dst { tmp.as_ref().expect("alias copied") } else { peers.src(s)? };
+                    let FieldData::Bool(sv) = sd else { unreachable!("seg type checked") };
+                    Some(sv.as_slice())
                 }
-                _ => return Err(CmError::Unsupported("scan op on float field")),
-            },
-            FieldData::Bool(v) => match op {
-                ReduceOp::Or => scan_impl!(v, Bool, false, |a: bool, b: bool| a || b),
-                ReduceOp::And => scan_impl!(v, Bool, true, |a: bool, b: bool| a && b),
-                ReduceOp::Xor => scan_impl!(v, Bool, false, |a: bool, b: bool| a ^ b),
-                _ => return Err(CmError::Unsupported("scan op on bool field")),
-            },
+                None => None,
+            };
+            macro_rules! scan_impl {
+                ($variant:ident, $id:expr, $fold:expr) => {{
+                    let FieldData::$variant(d) = d else { unreachable!() };
+                    let FieldData::$variant(v) = sdata else { unreachable!() };
+                    scan_values_into(d, v, mask, segs, $id, $fold, inclusive);
+                }};
+            }
+            match (src_ty, op) {
+                (ElemType::Int, ReduceOp::Add) => {
+                    scan_impl!(I64, 0i64, |a: i64, b: i64| a.wrapping_add(b))
+                }
+                (ElemType::Int, ReduceOp::Mul) => {
+                    scan_impl!(I64, 1i64, |a: i64, b: i64| a.wrapping_mul(b))
+                }
+                (ElemType::Int, ReduceOp::Min) => {
+                    scan_impl!(I64, INT_INF, |a: i64, b: i64| a.min(b))
+                }
+                (ElemType::Int, ReduceOp::Max) => {
+                    scan_impl!(I64, INT_NEG_INF, |a: i64, b: i64| a.max(b))
+                }
+                (ElemType::Float, ReduceOp::Add) => {
+                    scan_impl!(F64, 0.0f64, |a: f64, b: f64| a + b)
+                }
+                (ElemType::Float, ReduceOp::Mul) => {
+                    scan_impl!(F64, 1.0f64, |a: f64, b: f64| a * b)
+                }
+                (ElemType::Float, ReduceOp::Min) => {
+                    scan_impl!(F64, f64::INFINITY, |a: f64, b: f64| a.min(b))
+                }
+                (ElemType::Float, ReduceOp::Max) => {
+                    scan_impl!(F64, f64::NEG_INFINITY, |a: f64, b: f64| a.max(b))
+                }
+                (ElemType::Bool, ReduceOp::Or) => {
+                    scan_impl!(Bool, false, |a: bool, b: bool| a || b)
+                }
+                (ElemType::Bool, ReduceOp::And) => {
+                    scan_impl!(Bool, true, |a: bool, b: bool| a && b)
+                }
+                (ElemType::Bool, ReduceOp::Xor) => {
+                    scan_impl!(Bool, false, |a: bool, b: bool| a ^ b)
+                }
+                _ => unreachable!("op validated above"),
+            }
+            Ok(())
+        })();
+        if let Some(t) = tmp {
+            self.scratch.put_data(t);
         }
+        res?;
 
         self.tick(OpClass::Scan, size);
         Ok(())
     }
 }
 
-/// Prefix-scan the active elements of `v`, returning the full output
-/// vector (inactive positions keep `v`'s value; the caller commits under
-/// the mask anyway). Unsegmented scans of at least `par::PAR_THRESHOLD`
+/// Prefix-scan the active elements of `v` directly into `out` (the
+/// destination field's storage): only active positions are written, so
+/// inactive destinations keep their old values with no separate
+/// commit pass. Unsegmented scans of at least `par::PAR_THRESHOLD`
 /// elements use the blocked two-pass algorithm over [`par::chunk_ranges`]
 /// chunks; chunk layout depends only on `v.len()`, keeping results
-/// thread-count-invariant.
-fn scan_values<T>(
+/// thread-count-invariant. Below the threshold (and for segmented scans)
+/// the sequential path runs and allocates nothing.
+fn scan_values_into<T>(
+    out: &mut [T],
     v: &[T],
     mask: &[bool],
     segs: Option<&[bool]>,
     id: T,
     fold: impl Fn(T, T) -> T + Sync,
     inclusive: bool,
-) -> Vec<T>
-where
+) where
     T: Copy + Send + Sync,
 {
     let size = v.len();
-    let mut out = v.to_vec();
-    let ranges = par::chunk_ranges(size);
-    if segs.is_none() && size >= par::PAR_THRESHOLD && ranges.len() > 1 {
-        // Pass 1: fold each chunk's active elements.
-        let sums = par::map_chunks(size, |r| {
-            r.into_iter().filter(|&i| mask[i]).fold(id, |acc, i| fold(acc, v[i]))
-        });
-        // Exclusive scan of the chunk sums: chunk k's carry-in.
-        let mut carries = Vec::with_capacity(sums.len());
-        let mut acc = id;
-        for s in &sums {
-            carries.push(acc);
-            acc = fold(acc, *s);
-        }
-        // Pass 2: sequential prefix inside each chunk, seeded by its carry.
-        let chunks = par::chunk_slices_mut(&mut out, &ranges);
-        scan_chunks(chunks, &ranges, &carries, v, mask, &fold, inclusive);
-    } else {
-        let mut acc = id;
-        for i in 0..size {
-            if let Some(sg) = segs {
-                if sg[i] {
-                    acc = id;
-                }
+    if segs.is_none() && size >= par::PAR_THRESHOLD {
+        let ranges = par::chunk_ranges(size);
+        if ranges.len() > 1 {
+            // Pass 1: fold each chunk's active elements.
+            let sums = par::map_chunks(size, |r| {
+                r.into_iter().filter(|&i| mask[i]).fold(id, |acc, i| fold(acc, v[i]))
+            });
+            // Exclusive scan of the chunk sums: chunk k's carry-in.
+            let mut carries = Vec::with_capacity(sums.len());
+            let mut acc = id;
+            for s in &sums {
+                carries.push(acc);
+                acc = fold(acc, *s);
             }
-            if mask[i] {
-                if inclusive {
-                    acc = fold(acc, v[i]);
-                    out[i] = acc;
-                } else {
-                    out[i] = acc;
-                    acc = fold(acc, v[i]);
-                }
+            // Pass 2: sequential prefix inside each chunk, seeded by its
+            // carry.
+            let chunks = par::chunk_slices_mut(out, &ranges);
+            scan_chunks(chunks, &ranges, &carries, v, mask, &fold, inclusive);
+            return;
+        }
+    }
+    let mut acc = id;
+    for i in 0..size {
+        if let Some(sg) = segs {
+            if sg[i] {
+                acc = id;
+            }
+        }
+        if mask[i] {
+            if inclusive {
+                acc = fold(acc, v[i]);
+                out[i] = acc;
+            } else {
+                out[i] = acc;
+                acc = fold(acc, v[i]);
             }
         }
     }
-    out
 }
 
 /// Pass 2 of the blocked scan: each chunk walks its elements sequentially
@@ -254,7 +302,8 @@ fn scan_chunks<T>(
         .with_min_len(1)
         .for_each(|((chunk, &carry), r)| {
             let mut acc = carry;
-            for (k, i) in r.clone().enumerate() {
+            for k in 0..chunk.len() {
+                let i = r.start + k;
                 if mask[i] {
                     if inclusive {
                         acc = fold(acc, v[i]);

@@ -1,0 +1,101 @@
+//! Field-slot and scratch-arena leak regression tests.
+//!
+//! `Machine::free` must actually retire a field: its slot goes back on the
+//! VP set's free list and its storage back to the scratch arena, so an
+//! alloc/free loop — the shape of every `par` statement the UC executor
+//! runs — keeps both the live-field count and the arena bounded no matter
+//! how many iterations execute.
+
+use uc_cm::news::Border;
+use uc_cm::{BinOp, Combine, Machine, ReduceOp, Scalar};
+
+#[test]
+fn alloc_free_loop_reuses_slots_and_storage() {
+    let mut m = Machine::with_defaults();
+    let vp = m.new_vp_set("v", &[1024]).unwrap();
+    let keep = m.alloc_int(vp, "keep").unwrap();
+    m.iota(keep).unwrap();
+    let base_live = m.live_fields();
+
+    let mut pooled_after_warmup = None;
+    for round in 0..100 {
+        let a = m.alloc_int(vp, "a").unwrap();
+        let f = m.alloc_float(vp, "f").unwrap();
+        let b = m.alloc_bool(vp, "b").unwrap();
+        assert_eq!(m.live_fields(), base_live + 3);
+
+        m.rand_int(a, 50, round).unwrap();
+        m.convert(f, a).unwrap();
+        m.binop(BinOp::Lt, b, a, keep).unwrap();
+
+        m.free(b).unwrap();
+        m.free(f).unwrap();
+        m.free(a).unwrap();
+        assert_eq!(m.live_fields(), base_live, "free must release the slot");
+
+        // After the first round the arena has seen every storage type; the
+        // pool must neither grow (leak) nor shrink (failure to retire) from
+        // then on.
+        match pooled_after_warmup {
+            None => pooled_after_warmup = Some(m.scratch_pooled()),
+            Some(p) => assert_eq!(
+                m.scratch_pooled(),
+                p,
+                "arena pool drifted in round {round}: storage is leaking"
+            ),
+        }
+    }
+}
+
+#[test]
+fn scratch_high_water_is_bounded_by_op_shape() {
+    let mut m = Machine::with_defaults();
+    let vp = m.new_vp_set("v", &[512]).unwrap();
+    let a = m.alloc_int(vp, "a").unwrap();
+    let addr = m.alloc_int(vp, "addr").unwrap();
+    m.iota(addr).unwrap();
+    m.binop_imm_l(BinOp::Sub, addr, Scalar::Int(511), addr).unwrap();
+
+    // Hammer the aliased (checkout-heavy) paths; the high-water mark is set
+    // by the widest single op, not by the iteration count.
+    let mut high_water_after_warmup = None;
+    for _ in 0..50 {
+        m.iota(a).unwrap();
+        m.binop(BinOp::Add, a, a, a).unwrap();
+        m.news_shift(a, a, 0, 1, Border::Wrap).unwrap();
+        m.scan(a, a, ReduceOp::Add, true, None).unwrap();
+        m.send(a, addr, a, Combine::Overwrite).unwrap();
+        m.get(a, addr, a).unwrap();
+        match high_water_after_warmup {
+            None => high_water_after_warmup = Some(m.scratch_high_water()),
+            Some(hw) => assert_eq!(
+                m.scratch_high_water(),
+                hw,
+                "high-water mark kept climbing: checkouts are not returned"
+            ),
+        }
+    }
+    // Each op checks out at most a hit-buffer plus one alias copy.
+    assert!(
+        m.scratch_high_water() <= 4,
+        "high-water mark {} exceeds the widest op's needs",
+        m.scratch_high_water()
+    );
+}
+
+#[test]
+fn freed_fields_reject_further_use() {
+    let mut m = Machine::with_defaults();
+    let vp = m.new_vp_set("v", &[16]).unwrap();
+    let a = m.alloc_int(vp, "a").unwrap();
+    m.free(a).unwrap();
+    assert!(m.iota(a).is_err(), "stale id must not reach recycled storage");
+    assert!(m.free(a).is_err(), "double free must fail");
+
+    // The slot itself is recycled by the next allocation.
+    let live = m.live_fields();
+    let b = m.alloc_int(vp, "b").unwrap();
+    assert_eq!(m.live_fields(), live + 1);
+    m.iota(b).unwrap();
+    assert_eq!(m.int_data(b).unwrap()[15], 15);
+}
