@@ -75,10 +75,14 @@ impl CostModel {
             OpClass::Context => self.context,
             OpClass::News => self.news,
             OpClass::Router => self.router,
-            OpClass::Scan => self.scan + self.tree_step * log2_ceil(phys_procs),
+            OpClass::Scan => {
+                self.scan.saturating_add(self.tree_step.saturating_mul(log2_ceil(phys_procs)))
+            }
             OpClass::FrontEnd => return self.front_end, // front end is scalar: no VP ratio
         };
-        base * ratio
+        // Saturating: a hostile VP ratio must exhaust fuel, not wrap the
+        // clock back under it (release builds run with overflow-checks).
+        base.saturating_mul(ratio)
     }
 }
 

@@ -23,16 +23,23 @@ pub struct Geometry {
 
 impl Geometry {
     /// Create a geometry. Fails with [`CmError::BadGeometry`] on an empty
-    /// dimension list or any zero extent.
+    /// dimension list, any zero extent, or a total size that overflows
+    /// `usize` (hostile inputs must trap, not wrap).
     pub fn new(dims: &[usize]) -> Result<Self> {
         if dims.is_empty() || dims.contains(&0) {
             return Err(CmError::BadGeometry);
         }
         let mut strides = vec![1usize; dims.len()];
         for i in (0..dims.len().saturating_sub(1)).rev() {
-            strides[i] = strides[i + 1] * dims[i + 1];
+            strides[i] =
+                strides[i + 1].checked_mul(dims[i + 1]).ok_or(CmError::BadGeometry)?;
         }
-        let size = dims.iter().product();
+        let size = strides[0].checked_mul(dims[0]).ok_or(CmError::BadGeometry)?;
+        // Addresses and NEWS deltas are computed in i64; keep the whole
+        // address space representable there.
+        if size > i64::MAX as usize {
+            return Err(CmError::BadGeometry);
+        }
         Ok(Geometry { dims: dims.to_vec(), strides, size })
     }
 

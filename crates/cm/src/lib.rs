@@ -55,7 +55,7 @@ pub mod scan;
 
 pub use field::{ElemType, Field, FieldData, FieldId};
 pub use geometry::Geometry;
-pub use machine::{Machine, MachineConfig, VpSetId};
+pub use machine::{Machine, MachineConfig, MachineLimits, VpSetId};
 pub use ops::{BinOp, UnOp};
 pub use router::Combine;
 pub use scan::ReduceOp;
@@ -153,6 +153,28 @@ pub enum CmError {
     IndexOutOfRange { index: usize, size: usize },
     /// Operation is not defined for this element type (e.g. float shl).
     Unsupported(&'static str),
+    /// The machine's cycle budget (fuel) ran out.
+    FuelExhausted { limit: u64 },
+    /// An allocation would push live field/context storage over the
+    /// memory budget.
+    MemoryLimitExceeded { requested: u64, limit: u64 },
+    /// The armed wall-clock deadline passed.
+    DeadlineExceeded { timeout_ms: u64 },
+}
+
+impl CmError {
+    /// Whether this error is a resource-budget trap (fuel, memory or
+    /// deadline) rather than a program fault. Budget traps are terminal:
+    /// the machine stays over budget, so retrying the operation fails the
+    /// same way.
+    pub fn is_budget(&self) -> bool {
+        matches!(
+            self,
+            CmError::FuelExhausted { .. }
+                | CmError::MemoryLimitExceeded { .. }
+                | CmError::DeadlineExceeded { .. }
+        )
+    }
 }
 
 impl std::fmt::Display for CmError {
@@ -177,6 +199,19 @@ impl std::fmt::Display for CmError {
                 write!(f, "index {index} outside VP set of size {size}")
             }
             CmError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            CmError::FuelExhausted { limit } => {
+                write!(f, "cycle budget exceeded: fuel limit of {limit} cycles exhausted")
+            }
+            CmError::MemoryLimitExceeded { requested, limit } => {
+                write!(
+                    f,
+                    "memory budget exceeded: {requested}-byte allocation over the \
+                     {limit}-byte limit"
+                )
+            }
+            CmError::DeadlineExceeded { timeout_ms } => {
+                write!(f, "wall-clock budget exceeded: {timeout_ms} ms deadline passed")
+            }
         }
     }
 }

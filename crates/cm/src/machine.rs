@@ -299,6 +299,24 @@ impl<'m> Peers<'m> {
     }
 }
 
+/// Resource budgets the machine enforces while executing.
+///
+/// Every limit defaults to "unlimited" so library users (tests, benches)
+/// see no behaviour change; the UC executor installs real budgets from
+/// `ExecLimits`. Budget traps surface as [`CmError::FuelExhausted`] /
+/// [`CmError::MemoryLimitExceeded`] / [`CmError::DeadlineExceeded`] and
+/// are terminal: the machine stays over budget afterwards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MachineLimits {
+    /// Maximum simulated cycles the clock may accumulate (`None` =
+    /// unlimited). Checked on every charged instruction.
+    pub fuel: Option<u64>,
+    /// Maximum bytes of live field + context-mask storage (`None` =
+    /// unlimited). Charged before any storage is allocated, so a hostile
+    /// geometry traps instead of OOMing the process.
+    pub max_mem_bytes: Option<u64>,
+}
+
 /// Machine configuration.
 #[derive(Debug, Clone)]
 pub struct MachineConfig {
@@ -306,11 +324,26 @@ pub struct MachineConfig {
     pub phys_procs: usize,
     /// Cycle charges per instruction class.
     pub cost: CostModel,
+    /// Resource budgets (all unlimited by default).
+    pub limits: MachineLimits,
 }
 
 impl Default for MachineConfig {
     fn default() -> Self {
-        MachineConfig { phys_procs: 16 * 1024, cost: CostModel::default() }
+        MachineConfig {
+            phys_procs: 16 * 1024,
+            cost: CostModel::default(),
+            limits: MachineLimits::default(),
+        }
+    }
+}
+
+/// Bytes of storage one element of `ty` occupies in a field.
+#[inline]
+fn elem_bytes(ty: ElemType) -> u64 {
+    match ty {
+        ElemType::Int | ElemType::Float => 8,
+        ElemType::Bool => 1,
     }
 }
 
@@ -322,6 +355,15 @@ pub struct Machine {
     pub(crate) scratch: Scratch,
     clock: u64,
     counters: OpCounters,
+    /// `config.limits.fuel` with `u64::MAX` as the unlimited sentinel, so
+    /// the per-tick check is a single always-valid comparison.
+    fuel_limit: u64,
+    /// `config.limits.max_mem_bytes`, same sentinel convention.
+    mem_limit: u64,
+    /// Live field + context-mask bytes currently accounted.
+    mem_bytes: u64,
+    /// Armed wall-clock deadline (instant, original timeout in ms).
+    deadline: Option<(std::time::Instant, u64)>,
 }
 
 impl Machine {
@@ -332,13 +374,80 @@ impl Machine {
 
     /// A machine with an explicit configuration.
     pub fn new(config: MachineConfig) -> Self {
+        let fuel_limit = config.limits.fuel.unwrap_or(u64::MAX);
+        let mem_limit = config.limits.max_mem_bytes.unwrap_or(u64::MAX);
         Machine {
             config,
             vpsets: Vec::new(),
             scratch: Scratch::default(),
             clock: 0,
             counters: OpCounters::default(),
+            fuel_limit,
+            mem_limit,
+            mem_bytes: 0,
+            deadline: None,
         }
+    }
+
+    /// Replace the fuel budget (`None` = unlimited). The clock is *not*
+    /// reset: fuel bounds total accumulated cycles.
+    pub fn set_fuel(&mut self, fuel: Option<u64>) {
+        self.config.limits.fuel = fuel;
+        self.fuel_limit = fuel.unwrap_or(u64::MAX);
+    }
+
+    /// Replace the memory budget (`None` = unlimited). Already-live
+    /// storage keeps its accounting; only future allocations are checked.
+    pub fn set_mem_limit(&mut self, max_mem_bytes: Option<u64>) {
+        self.config.limits.max_mem_bytes = max_mem_bytes;
+        self.mem_limit = max_mem_bytes.unwrap_or(u64::MAX);
+    }
+
+    /// Arm a wall-clock deadline `timeout_ms` from now. Every charged
+    /// instruction checks it; use [`Machine::clear_deadline`] to disarm.
+    pub fn arm_deadline(&mut self, timeout_ms: u64) {
+        let d = std::time::Instant::now() + std::time::Duration::from_millis(timeout_ms);
+        self.deadline = Some((d, timeout_ms));
+    }
+
+    /// Disarm any armed wall-clock deadline.
+    pub fn clear_deadline(&mut self) {
+        self.deadline = None;
+    }
+
+    /// Check the armed deadline without charging any cycles. Front-end
+    /// loops that issue no machine instructions call this each iteration
+    /// so `--timeout-ms` still bounds them.
+    pub fn poll_deadline(&self) -> Result<()> {
+        if let Some((deadline, timeout_ms)) = self.deadline {
+            if std::time::Instant::now() >= deadline {
+                return Err(CmError::DeadlineExceeded { timeout_ms });
+            }
+        }
+        Ok(())
+    }
+
+    /// Live field + context-mask bytes currently accounted against the
+    /// memory budget.
+    pub fn mem_bytes(&self) -> u64 {
+        self.mem_bytes
+    }
+
+    /// Reserve `bytes` against the memory budget, trapping *before* any
+    /// allocation happens.
+    #[inline]
+    fn charge_mem(&mut self, bytes: u64) -> Result<()> {
+        let new = self.mem_bytes.saturating_add(bytes);
+        if new > self.mem_limit {
+            return Err(CmError::MemoryLimitExceeded { requested: bytes, limit: self.mem_limit });
+        }
+        self.mem_bytes = new;
+        Ok(())
+    }
+
+    #[inline]
+    fn release_mem(&mut self, bytes: u64) {
+        self.mem_bytes = self.mem_bytes.saturating_sub(bytes);
     }
 
     /// Number of physical processors.
@@ -362,19 +471,37 @@ impl Machine {
         self.counters = OpCounters::default();
     }
 
-    /// Charge one instruction of `class` issued to a VP set of `vp_size`.
+    /// Charge one instruction of `class` issued to a VP set of `vp_size`,
+    /// trapping when the charge exhausts the fuel budget or the armed
+    /// wall-clock deadline has passed. With no budgets set this is one
+    /// saturating add plus two never-taken branches — cheap enough for
+    /// the zero-alloc hot paths (metering never allocates).
     #[inline]
-    pub(crate) fn tick(&mut self, class: OpClass, vp_size: usize) {
-        self.clock += self.config.cost.charge(class, vp_size, self.config.phys_procs);
+    pub(crate) fn tick(&mut self, class: OpClass, vp_size: usize) -> Result<()> {
+        self.clock = self
+            .clock
+            .saturating_add(self.config.cost.charge(class, vp_size, self.config.phys_procs));
         self.counters.bump(class);
+        if self.clock > self.fuel_limit {
+            return Err(CmError::FuelExhausted { limit: self.fuel_limit });
+        }
+        if let Some((deadline, timeout_ms)) = self.deadline {
+            if std::time::Instant::now() >= deadline {
+                return Err(CmError::DeadlineExceeded { timeout_ms });
+            }
+        }
+        Ok(())
     }
 
     // ---- VP sets --------------------------------------------------------
 
-    /// Create a VP set with the given geometry.
+    /// Create a VP set with the given geometry. The base context mask
+    /// (one byte per VP) is charged against the memory budget *before*
+    /// it is allocated, so a hostile geometry traps instead of OOMing.
     pub fn new_vp_set(&mut self, name: &str, dims: &[usize]) -> Result<VpSetId> {
         let geom = Geometry::new(dims)?;
         let size = geom.size();
+        self.charge_mem(size as u64)?;
         self.vpsets.push(VpSet {
             name: name.to_string(),
             geom,
@@ -479,6 +606,7 @@ impl Machine {
     /// into zero heap traffic.
     pub fn alloc(&mut self, vp: VpSetId, name: &str, ty: ElemType) -> Result<FieldId> {
         let len = self.vp(vp)?.geom.size();
+        self.charge_mem((len as u64).saturating_mul(elem_bytes(ty)))?;
         let field = Field {
             name: self.scratch.take_name(name),
             data: self.scratch.draw_field_data(ty, len),
@@ -519,7 +647,9 @@ impl Machine {
             Some(slot @ Some(_)) => {
                 let field = slot.take().expect("slot checked");
                 set.free_slots.push(id.index);
+                let bytes = (field.data.len() as u64).saturating_mul(elem_bytes(field.elem_type()));
                 scratch.retire_field(field);
+                self.release_mem(bytes);
                 Ok(())
             }
             _ => Err(CmError::UnknownField),
@@ -591,7 +721,7 @@ impl Machine {
     /// front-end op per element).
     pub fn read_all(&mut self, id: FieldId) -> Result<FieldData> {
         let data = self.field(id)?.data.clone();
-        self.tick(OpClass::FrontEnd, data.len());
+        self.tick(OpClass::FrontEnd, data.len())?;
         Ok(data)
     }
 
@@ -611,25 +741,37 @@ impl Machine {
             return Err(CmError::VpSetMismatch);
         }
         self.field_mut(id)?.data = data;
-        self.tick(OpClass::FrontEnd, len);
-        Ok(())
+        self.tick(OpClass::FrontEnd, len)
     }
 
     // ---- Context --------------------------------------------------------
 
     /// Push `mask AND current` as the activity mask of `vp`. `mask` must be
-    /// a bool field on `vp`.
+    /// a bool field on `vp`. The new mask (one byte per VP) is charged
+    /// against the memory budget.
     pub fn push_context(&mut self, mask: FieldId) -> Result<()> {
-        let size = self.push_ctx_inner(mask, false)?;
-        self.tick(OpClass::Context, size);
-        Ok(())
+        let size = self.charged_push(mask, false)?;
+        self.tick(OpClass::Context, size)
     }
 
     /// Push the `others` complement of `mask` within the enclosing context.
     pub fn push_context_others(&mut self, mask: FieldId) -> Result<()> {
-        let size = self.push_ctx_inner(mask, true)?;
-        self.tick(OpClass::Context, size);
-        Ok(())
+        let size = self.charged_push(mask, true)?;
+        self.tick(OpClass::Context, size)
+    }
+
+    /// Charge the memory budget for one context level, then push it;
+    /// the charge is rolled back if the push itself fails.
+    fn charged_push(&mut self, mask: FieldId, others: bool) -> Result<usize> {
+        let size = self.vp(mask.vp)?.geom.size();
+        self.charge_mem(size as u64)?;
+        match self.push_ctx_inner(mask, others) {
+            Ok(size) => Ok(size),
+            Err(e) => {
+                self.release_mem(size as u64);
+                Err(e)
+            }
+        }
     }
 
     /// Shared body of the two context pushes: borrows the mask field's bits
@@ -666,22 +808,22 @@ impl Machine {
     pub fn pop_context(&mut self, vp: VpSetId) -> Result<()> {
         let size = self.vp(vp)?.geom.size();
         self.vp_mut(vp)?.context.pop()?;
-        self.tick(OpClass::Context, size);
-        Ok(())
+        self.release_mem(size as u64);
+        self.tick(OpClass::Context, size)
     }
 
     /// Number of active VPs under the current mask (a global-OR style
     /// front-end test; charged as a scan).
     pub fn active_count(&mut self, vp: VpSetId) -> Result<usize> {
         let size = self.vp(vp)?.geom.size();
-        self.tick(OpClass::Scan, size);
+        self.tick(OpClass::Scan, size)?;
         Ok(self.vp(vp)?.context.active_count())
     }
 
     /// Whether any VP is active (the CM global-OR wire).
     pub fn any_active(&mut self, vp: VpSetId) -> Result<bool> {
         let size = self.vp(vp)?.geom.size();
-        self.tick(OpClass::Scan, size);
+        self.tick(OpClass::Scan, size)?;
         Ok(self.vp(vp)?.context.any_active())
     }
 

@@ -116,7 +116,7 @@ impl Machine {
         }
         res?;
 
-        self.tick(OpClass::News, size);
+        self.tick(OpClass::News, size)?;
         Ok(())
     }
 }

@@ -178,7 +178,7 @@ impl Machine {
     /// `dst[i] = imm` for active `i`.
     pub fn set_imm(&mut self, dst: FieldId, imm: Scalar) -> Result<()> {
         let size = self.same_vp(&[dst])?;
-        self.tick(OpClass::Alu, size);
+        self.tick(OpClass::Alu, size)?;
         let (d, peers) = self.split_dst(dst)?;
         let mask = peers.mask(dst.vp)?;
         match (d, imm) {
@@ -202,7 +202,7 @@ impl Machine {
         if dty != sty {
             return Err(CmError::TypeMismatch { expected: dty, found: sty });
         }
-        self.tick(OpClass::Alu, size);
+        self.tick(OpClass::Alu, size)?;
         if dst == src {
             return Ok(());
         }
@@ -214,7 +214,7 @@ impl Machine {
     pub fn convert(&mut self, dst: FieldId, src: FieldId) -> Result<()> {
         let size = self.same_vp(&[dst, src])?;
         let (dty, sty) = (self.field(dst)?.elem_type(), self.field(src)?.elem_type());
-        self.tick(OpClass::Alu, size);
+        self.tick(OpClass::Alu, size)?;
         if dty == sty {
             // Identity cast: a masked memcpy, no intermediate buffer.
             if dst == src {
@@ -267,7 +267,7 @@ impl Machine {
         if dty != sty {
             return Err(CmError::TypeMismatch { expected: dty, found: sty });
         }
-        self.tick(OpClass::Alu, size);
+        self.tick(OpClass::Alu, size)?;
         let tmp = if dst == src { Some(self.scratch_copy(dst)?) } else { None };
         let res: Result<()> = (|| {
             let (d, peers) = self.split_dst(dst)?;
@@ -284,7 +284,8 @@ impl Machine {
                     par::apply1_masked(dv, sv, mask, |&x| -x)
                 }
                 (UnOp::Abs, FieldData::I64(dv), FieldData::I64(sv)) => {
-                    par::apply1_masked(dv, sv, mask, |&x| x.abs())
+                    // wrapping: abs(i64::MIN) must not trip overflow checks
+                    par::apply1_masked(dv, sv, mask, |&x| x.wrapping_abs())
                 }
                 (UnOp::Abs, FieldData::F64(dv), FieldData::F64(sv)) => {
                     par::apply1_masked(dv, sv, mask, |&x| x.abs())
@@ -349,7 +350,7 @@ impl Machine {
                 return Err(CmError::DivideByZero);
             }
         }
-        self.tick(OpClass::Alu, size);
+        self.tick(OpClass::Alu, size)?;
         // Any aliased source equals dst, so one scratch copy covers both.
         let tmp = if a == dst || b == dst { Some(self.scratch_copy(dst)?) } else { None };
         let res: Result<()> = (|| {
@@ -427,7 +428,7 @@ impl Machine {
         if dty != sty {
             return Err(CmError::TypeMismatch { expected: dty, found: sty });
         }
-        self.tick(OpClass::Alu, size);
+        self.tick(OpClass::Alu, size)?;
         if dst == src {
             return Ok(());
         }
@@ -453,7 +454,7 @@ impl Machine {
                 })
             }
         };
-        self.tick(OpClass::Scan, size);
+        self.tick(OpClass::Scan, size)?;
         Ok(ne)
     }
 
@@ -473,7 +474,7 @@ impl Machine {
                 })
             }
         }
-        self.tick(OpClass::Alu, size);
+        self.tick(OpClass::Alu, size)?;
         Ok(())
     }
 
@@ -492,7 +493,7 @@ impl Machine {
         if dty != ta {
             return Err(CmError::TypeMismatch { expected: dty, found: ta });
         }
-        self.tick(OpClass::Alu, size);
+        self.tick(OpClass::Alu, size)?;
         let aliased = cond == dst || a == dst || b == dst;
         let tmp = if aliased { Some(self.scratch_copy(dst)?) } else { None };
         let res: Result<()> = (|| {
@@ -526,7 +527,7 @@ impl Machine {
     pub fn iota(&mut self, dst: FieldId) -> Result<()> {
         let size = self.same_vp(&[dst])?;
         self.int_data(dst)?; // type check
-        self.tick(OpClass::Alu, size);
+        self.tick(OpClass::Alu, size)?;
         let (d, peers) = self.split_dst(dst)?;
         let mask = peers.mask(dst.vp)?;
         let FieldData::I64(dv) = d else { unreachable!() };
@@ -543,7 +544,7 @@ impl Machine {
         let size = self.same_vp(&[dst])?;
         self.int_data(dst)?;
         self.vp(dst.vp)?.geom.extent(axis)?;
-        self.tick(OpClass::Alu, size);
+        self.tick(OpClass::Alu, size)?;
         let (d, peers) = self.split_dst(dst)?;
         let mask = peers.mask(dst.vp)?;
         let geom = peers.geom(dst.vp)?;
@@ -563,7 +564,7 @@ impl Machine {
         }
         let size = self.same_vp(&[dst])?;
         self.int_data(dst)?;
-        self.tick(OpClass::Alu, size);
+        self.tick(OpClass::Alu, size)?;
         let (d, peers) = self.split_dst(dst)?;
         let mask = peers.mask(dst.vp)?;
         let FieldData::I64(dv) = d else { unreachable!() };
@@ -584,7 +585,7 @@ impl Machine {
         let mask = peers.mask(dst.vp)?;
         let FieldData::Bool(dv) = d else { unreachable!() };
         dv.copy_from_slice(mask);
-        self.tick(OpClass::Context, size);
+        self.tick(OpClass::Context, size)?;
         Ok(())
     }
 
@@ -594,7 +595,7 @@ impl Machine {
         if index >= size {
             return Err(CmError::IndexOutOfRange { index, size });
         }
-        self.tick(OpClass::FrontEnd, 1);
+        self.tick(OpClass::FrontEnd, 1)?;
         Ok(match &self.field(id)?.data {
             FieldData::I64(v) => Scalar::Int(v[index]),
             FieldData::F64(v) => Scalar::Float(v[index]),
@@ -608,7 +609,7 @@ impl Machine {
         if index >= size {
             return Err(CmError::IndexOutOfRange { index, size });
         }
-        self.tick(OpClass::FrontEnd, 1);
+        self.tick(OpClass::FrontEnd, 1)?;
         let field = self.field_mut(id)?;
         match (&mut field.data, value) {
             (FieldData::I64(v), Scalar::Int(x)) => v[index] = x,

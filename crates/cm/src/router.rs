@@ -164,7 +164,7 @@ impl Machine {
         self.scratch.put_bools(hit);
         res?;
 
-        self.tick(OpClass::Router, src_size.max(dst_size));
+        self.tick(OpClass::Router, src_size.max(dst_size))?;
         Ok(conflict)
     }
 
@@ -214,7 +214,7 @@ impl Machine {
         }
         res?;
 
-        self.tick(OpClass::Router, dst_size.max(src_size));
+        self.tick(OpClass::Router, dst_size.max(src_size))?;
         Ok(())
     }
 }

@@ -87,7 +87,7 @@ impl Machine {
                 FieldData::Bool(v) => reduce_bool(v, mask, op)?,
             }
         };
-        self.tick(OpClass::Scan, size);
+        self.tick(OpClass::Scan, size)?;
         Ok(result)
     }
 
@@ -216,7 +216,7 @@ impl Machine {
         }
         res?;
 
-        self.tick(OpClass::Scan, size);
+        self.tick(OpClass::Scan, size)?;
         Ok(())
     }
 }

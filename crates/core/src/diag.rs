@@ -86,6 +86,26 @@ impl Diagnostics {
     /// identical (the same lint refiring on the same site, e.g. from an
     /// access analysed both as a read and as a write); uncoded diagnostics
     /// are deduped only when the full message also matches.
+    /// Render every diagnostic prefixed with a file path, the
+    /// `path:line:col: severity: message` shape editors and CI annotate.
+    pub fn render_with_path(&self, path: &str) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for d in &self.items {
+            let sev = match d.severity {
+                Severity::Error => "error",
+                Severity::Warning => "warning",
+            };
+            let _ = match d.code {
+                Some(code) => {
+                    writeln!(out, "{path}:{}: {sev}[{code}]: {}", d.span, d.message)
+                }
+                None => writeln!(out, "{path}:{}: {sev}: {}", d.span, d.message),
+            };
+        }
+        out
+    }
+
     pub fn normalize(&mut self) {
         self.items.sort_by(|a, b| {
             (a.span.start, a.span.end, a.code, a.severity, &a.message).cmp(&(

@@ -82,7 +82,7 @@ impl Program {
                 Some(match op {
                     crate::ast::UnaryOp::Neg => match v {
                         Scalar::Float(f) => Scalar::Float(-f),
-                        other => Scalar::Int(-other.as_int()),
+                        other => Scalar::Int(other.as_int().wrapping_neg()),
                     },
                     crate::ast::UnaryOp::Not => Scalar::Int(!v.as_bool() as i64),
                     crate::ast::UnaryOp::BitNot => Scalar::Int(!v.as_int()),
@@ -106,7 +106,7 @@ impl Program {
                     Some(Scalar::Int(stdlib::power2(self.try_pure_scalar(&args[0])?.as_int())))
                 }
                 "abs" | "ABS" => {
-                    Some(Scalar::Int(self.try_pure_scalar(&args[0])?.as_int().abs()))
+                    Some(Scalar::Int(self.try_pure_scalar(&args[0])?.as_int().wrapping_abs()))
                 }
                 "min" => Some(Scalar::Int(
                     self.try_pure_scalar(&args[0])?
@@ -156,12 +156,18 @@ impl Program {
             let l = self.symbolic_index(lhs);
             let r = self.symbolic_index(rhs);
             match (op, l, r) {
+                // checked: an overflowing constant offset falls back to
+                // the general router path instead of aborting.
                 (BinaryOp::Add, IdxForm::AxisPlus { axis, offset }, IdxForm::Const(c))
                 | (BinaryOp::Add, IdxForm::Const(c), IdxForm::AxisPlus { axis, offset }) => {
-                    return IdxForm::AxisPlus { axis, offset: offset + c }
+                    if let Some(offset) = offset.checked_add(c) {
+                        return IdxForm::AxisPlus { axis, offset };
+                    }
                 }
                 (BinaryOp::Sub, IdxForm::AxisPlus { axis, offset }, IdxForm::Const(c)) => {
-                    return IdxForm::AxisPlus { axis, offset: offset - c }
+                    if let Some(offset) = offset.checked_sub(c) {
+                        return IdxForm::AxisPlus { axis, offset };
+                    }
                 }
                 _ => {}
             }
@@ -195,7 +201,7 @@ impl Program {
         if !subs_cacheable(subs) {
             return self.read_storage(&st, subs);
         }
-        let dims = self.ctx.last().unwrap().dims.clone();
+        let dims = self.cur_ctx().dims.clone();
         let key = (dims, access_text(base, subs));
         for level in self.cse_stack.iter().rev() {
             if let Some(&f) = level.get(&key) {
@@ -259,7 +265,7 @@ impl Program {
 
     /// Local/NEWS read when the array conforms to the iteration space.
     fn try_fast_read(&mut self, st: &ArrayStorage, subs: &[Expr]) -> RResult<Option<PV>> {
-        let dims = self.ctx.last().unwrap().dims.clone();
+        let dims = self.cur_ctx().dims.clone();
         let offsets: Vec<i64> = match &st.mapping {
             ArrayMapping::Default => vec![0; st.shape.len()],
             ArrayMapping::Permute { offsets } => offsets.clone(),
@@ -276,7 +282,7 @@ impl Program {
                             IdxForm::AxisPlus { axis, offset: 0 } if axis == d + 1)
                     });
                 if identity {
-                    let vp = self.ctx.last().unwrap().vp;
+                    let vp = self.cur_ctx().vp;
                     let dst = self.machine.alloc(vp, "~rd", st.ty)?;
                     self.machine.copy(dst, st.field)?;
                     return Ok(Some(PV::owned(dst)));
@@ -306,7 +312,7 @@ impl Program {
         if shifts.iter().filter(|&&s| s != 0).count() > 1 {
             return Ok(None);
         }
-        let vp = self.ctx.last().unwrap().vp;
+        let vp = self.cur_ctx().vp;
         let dst = self.machine.alloc(vp, "~rd", st.ty)?;
         match shifts.iter().position(|&s| s != 0) {
             None => self.machine.copy(dst, st.field)?,
@@ -340,7 +346,7 @@ impl Program {
         }
         // Built unconditionally (front-end DMA): the cache is shared
         // across constructs with different activity masks.
-        let vp = self.ctx.last().unwrap().vp;
+        let vp = self.cur_ctx().vp;
         let size: usize = dims.iter().product();
         let stride: usize = dims[axis + 1..].iter().product();
         let extent = dims[axis];
@@ -362,7 +368,7 @@ impl Program {
         if let Some(&f) = self.inf_cache.get(&key) {
             return Ok(f);
         }
-        let vp = self.ctx.last().unwrap().vp;
+        let vp = self.cur_ctx().vp;
         let inf = self.machine.alloc(vp, "~INF", ty)?;
         self.machine.fill_unconditional(inf, inf_of(ty))?;
         self.inf_cache.insert(key, inf);
@@ -371,8 +377,8 @@ impl Program {
 
     /// General gather through the router, with bounds handling.
     fn router_read(&mut self, st: &ArrayStorage, subs: &[Expr]) -> RResult<PV> {
-        let vp = self.ctx.last().unwrap().vp;
-        let dims = self.ctx.last().unwrap().dims.clone();
+        let vp = self.cur_ctx().vp;
+        let dims = self.cur_ctx().dims.clone();
         let (addr, valid) = self.storage_address(st, subs)?;
         let dst = self.machine.alloc(vp, "~gather", st.ty)?;
         self.machine.get(dst, addr, st.field)?;
@@ -396,7 +402,7 @@ impl Program {
         st: &ArrayStorage,
         subs: &[Expr],
     ) -> RResult<(FieldId, Option<FieldId>)> {
-        let vp = self.ctx.last().unwrap().vp;
+        let vp = self.cur_ctx().vp;
         let storage_shape = st.mapping.storage_shape(&st.shape);
         // Row-major strides over the storage shape; for Copy the logical
         // dims start at storage axis 1 (replica 0 occupies the first block).
@@ -405,7 +411,7 @@ impl Program {
             strides[i] = strides[i + 1] * storage_shape[i + 1];
         }
         let dim_off = storage_shape.len() - st.shape.len();
-        let space_dims = self.ctx.last().unwrap().dims.clone();
+        let space_dims = self.cur_ctx().dims.clone();
 
         let addr = self.machine.alloc_int(vp, "~addr")?;
         // Constant subscript contributions fold into the initial fill.
@@ -587,7 +593,7 @@ impl Program {
         // Fast path: identity store onto a conforming default-mapped array.
         if self.config.optimize_access
             && st.mapping == ArrayMapping::Default
-            && st.shape == self.ctx.last().unwrap().dims
+            && st.shape == self.cur_ctx().dims
             && subs.iter().enumerate().all(|(d, s)| {
                 matches!(self.symbolic_index(s),
                     IdxForm::AxisPlus { axis, offset: 0 } if axis == d)
@@ -602,7 +608,7 @@ impl Program {
         let (addr, valid) = self.storage_address(st, subs)?;
         if let Some(valid) = valid {
             // An enabled element writing out of range is an error.
-            let vp = self.ctx.last().unwrap().vp;
+            let vp = self.cur_ctx().vp;
             let bad = self.machine.alloc_bool(vp, "~bad")?;
             self.machine.unop(uc_cm::UnOp::Not, bad, valid)?;
             let any_bad = self.machine.reduce(bad, ReduceOp::Or)?.as_bool();
@@ -710,6 +716,9 @@ impl Program {
                                  (use a reduction to combine values first)"
                             )));
                         };
+                        // Invariant: `frame`/`si`/`name` were just found
+                        // in the immutable borrow above; re-borrowing
+                        // mutably cannot miss.
                         let frame = self.frames.last_mut().unwrap();
                         let slot = frame.scopes[si].vars.get_mut(name).unwrap();
                         let coerced = match slot {

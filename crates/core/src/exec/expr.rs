@@ -323,7 +323,7 @@ impl Program {
             "abs" | "ABS" => {
                 let v = self.eval(&args[0])?;
                 match v {
-                    PV::Scalar(Scalar::Int(x)) => Ok(PV::Scalar(Scalar::Int(x.abs()))),
+                    PV::Scalar(Scalar::Int(x)) => Ok(PV::Scalar(Scalar::Int(x.wrapping_abs()))),
                     PV::Scalar(Scalar::Float(x)) => Ok(PV::Scalar(Scalar::Float(x.abs()))),
                     PV::Scalar(Scalar::Bool(b)) => Ok(PV::Scalar(Scalar::Int(b as i64))),
                     PV::Field { .. } => {

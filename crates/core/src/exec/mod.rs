@@ -30,7 +30,7 @@ mod stmt;
 
 use std::collections::HashMap;
 
-use uc_cm::{CmError, ElemType, FieldId, Machine, MachineConfig, Scalar, VpSetId};
+use uc_cm::{CmError, ElemType, FieldId, Machine, MachineConfig, MachineLimits, Scalar, VpSetId};
 
 use crate::ast::FuncDef;
 use crate::diag::Diagnostics;
@@ -38,8 +38,57 @@ use crate::mapping::{self, ArrayMapping};
 use crate::opt;
 use crate::parser;
 use crate::sema::{self, Checked};
+use crate::span::Span;
 
 pub use space::ParCtx;
+
+/// Native stack for the interpreter thread. Sized so the default
+/// [`ExecLimits::max_call_depth`] of 256 UC activations fits with wide
+/// margin even in debug builds (~8 KiB of host stack per activation).
+const EXEC_STACK_BYTES: usize = 16 * 1024 * 1024;
+
+/// Resource budgets governing one program, replacing the hard-coded caps
+/// the executor used to scatter through `stmt.rs`. The defaults are what
+/// `uc run` uses without flags; a hosting service (ROADMAP item 4) should
+/// tighten every one of them per request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecLimits {
+    /// Simulated-cycle budget (`None` = unlimited). Checked by the
+    /// machine on every charged instruction; front-end-only statements
+    /// don't consume fuel, so pair this with `max_iterations` or
+    /// `timeout_ms` to bound pure front-end loops.
+    pub fuel: Option<u64>,
+    /// Bytes of live machine storage — fields plus context masks —
+    /// charged *before* allocation (`None` = unlimited). Default 256 MiB,
+    /// so a hostile geometry traps instead of OOMing the process.
+    pub max_mem_bytes: Option<u64>,
+    /// Maximum concurrently-live function activations. A call that would
+    /// make the stack deeper than this traps. Default 256.
+    pub max_call_depth: usize,
+    /// Cap on the iterations of any single `while`/`for` loop or
+    /// `*`-construct fixpoint. Default `1 << 22`.
+    pub max_iterations: u64,
+    /// Wall-clock deadline for one [`Program::run`], in milliseconds
+    /// (`None` = none). Armed when `run` starts, checked on every charged
+    /// machine instruction and every front-end loop iteration.
+    pub timeout_ms: Option<u64>,
+    /// Cap on the materialised elements of one runtime index set.
+    /// `set I = [0 .. 1<<40]` must trap, not OOM. Default `1 << 22`.
+    pub max_index_set: u64,
+}
+
+impl Default for ExecLimits {
+    fn default() -> Self {
+        ExecLimits {
+            fuel: None,
+            max_mem_bytes: Some(256 * 1024 * 1024),
+            max_call_depth: 256,
+            max_iterations: 1 << 22,
+            timeout_ms: None,
+            max_index_set: 1 << 22,
+        }
+    }
+}
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -57,8 +106,8 @@ pub struct ExecConfig {
     pub procopt: bool,
     /// Constant folding on the AST before execution.
     pub constfold: bool,
-    /// Safety cap on `*`-construct and `while` iterations.
-    pub max_iterations: u64,
+    /// Resource budgets (fuel, memory, recursion, loop caps, deadline).
+    pub limits: ExecLimits,
 }
 
 impl Default for ExecConfig {
@@ -69,7 +118,7 @@ impl Default for ExecConfig {
             optimize_access: true,
             procopt: true,
             constfold: true,
-            max_iterations: 1 << 22,
+            limits: ExecLimits::default(),
         }
     }
 }
@@ -84,8 +133,13 @@ pub enum RuntimeError {
     MultipleAssignment { name: String },
     /// An enabled index element wrote outside an array.
     OutOfBounds { name: String },
-    /// A `*`-construct or loop exceeded [`ExecConfig::max_iterations`].
+    /// A `*`-construct or loop exceeded [`ExecLimits::max_iterations`].
     IterationLimit(&'static str),
+    /// A call would exceed [`ExecLimits::max_call_depth`] live frames.
+    CallDepthExceeded { max: usize },
+    /// A runtime index set materialised more elements than
+    /// [`ExecLimits::max_index_set`] allows.
+    IndexSetTooLarge { name: String, len: u64, max: u64 },
     /// A front-end-only feature was used in a parallel context (or vice
     /// versa).
     NotSupported(String),
@@ -93,6 +147,10 @@ pub enum RuntimeError {
     DivideByZero,
     /// Name resolution failed at runtime (sema should prevent this).
     Unbound(String),
+    /// A panic escaped the executor internals and was caught at the
+    /// [`Program::run`] boundary. Always a bug, but contained: the
+    /// process survives and the caller gets the panic message.
+    Internal(String),
 }
 
 impl From<CmError> for RuntimeError {
@@ -113,16 +171,55 @@ impl std::fmt::Display for RuntimeError {
                 write!(f, "parallel write outside the bounds of `{name}`")
             }
             RuntimeError::IterationLimit(what) => {
-                write!(f, "iteration limit exceeded in {what}")
+                write!(f, "iteration budget exceeded in {what}")
+            }
+            RuntimeError::CallDepthExceeded { max } => {
+                write!(f, "call-depth budget exceeded: recursion deeper than {max} frames")
+            }
+            RuntimeError::IndexSetTooLarge { name, len, max } => {
+                write!(
+                    f,
+                    "index-set budget exceeded: `{name}` materialises {len} elements \
+                     (limit {max})"
+                )
             }
             RuntimeError::NotSupported(what) => write!(f, "not supported: {what}"),
             RuntimeError::DivideByZero => write!(f, "division by zero"),
             RuntimeError::Unbound(name) => write!(f, "unbound identifier `{name}`"),
+            RuntimeError::Internal(msg) => {
+                write!(f, "internal executor error (caught panic): {msg}")
+            }
         }
     }
 }
 
 impl std::error::Error for RuntimeError {}
+
+/// A [`RuntimeError`] annotated with where it happened: the span of the
+/// statement that was executing and the UC call stack (outermost first,
+/// each entry the callee's name and the span of its call site).
+/// [`Program::run`] returns this so `uc run` can render a real
+/// diagnostic instead of a bare message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunError {
+    pub error: RuntimeError,
+    /// Statement being executed when the error surfaced.
+    pub span: Span,
+    /// UC call stack, outermost first: `(function, call-site span)`.
+    pub stack: Vec<(String, Span)>,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.error)?;
+        if self.span != Span::default() {
+            write!(f, " at {}", self.span)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RunError {}
 
 pub(crate) type RResult<T> = Result<T, RuntimeError>;
 
@@ -214,6 +311,12 @@ pub struct Program {
     /// depend only on geometry, so re-entering a construct (e.g. a `par`
     /// nested in a front-end loop) reuses them instead of recomputing.
     pub(crate) elem_cache: HashMap<(Vec<usize>, usize, Vec<i64>), FieldId>,
+    /// Span of the statement currently executing, for [`RunError`].
+    pub(crate) exec_span: Span,
+    /// Live UC call stack, outermost first: `(callee, call-site span)`.
+    /// Entries are popped on successful return only, so on error the
+    /// stack still describes where execution was.
+    pub(crate) call_stack: Vec<(String, Span)>,
 }
 
 impl Program {
@@ -257,6 +360,10 @@ impl Program {
         }
         let machine = Machine::new(MachineConfig {
             phys_procs: config.phys_procs,
+            limits: MachineLimits {
+                fuel: config.limits.fuel,
+                max_mem_bytes: config.limits.max_mem_bytes,
+            },
             ..MachineConfig::default()
         });
         let mut p = Program {
@@ -275,6 +382,8 @@ impl Program {
             cse_stack: Vec::new(),
             cse_fill: false,
             elem_cache: HashMap::new(),
+            exec_span: Span::default(),
+            call_stack: Vec::new(),
         };
         p.allocate_globals(&maps).map_err(|e| {
             let mut d = Diagnostics::default();
@@ -343,7 +452,59 @@ impl Program {
     }
 
     /// Run `main()` to completion.
-    pub fn run(&mut self) -> RResult<()> {
+    ///
+    /// Errors come back as a [`RunError`] carrying the span of the failing
+    /// statement and the UC call stack. The run is a fault boundary: a
+    /// panic escaping the executor internals is caught here and reported
+    /// as [`RuntimeError::Internal`] instead of aborting the process.
+    pub fn run(&mut self) -> Result<(), RunError> {
+        if let Some(ms) = self.config.limits.timeout_ms {
+            self.machine.arm_deadline(ms);
+        }
+        // The interpreter recurses natively once per UC activation, which
+        // at the default 256-frame budget overruns a 2 MiB thread stack
+        // in debug builds. Run on a dedicated thread with enough stack
+        // that the call-depth budget — not the host stack — is the limit.
+        let outcome = std::thread::scope(|scope| {
+            std::thread::Builder::new()
+                .name("uc-exec".into())
+                .stack_size(EXEC_STACK_BYTES)
+                .spawn_scoped(scope, || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_inner()))
+                })
+                .expect("spawn uc-exec thread")
+                .join()
+                .unwrap_or_else(Err)
+        });
+        self.machine.clear_deadline();
+        match outcome {
+            Ok(Ok(())) => {
+                self.call_stack.clear();
+                Ok(())
+            }
+            Ok(Err(error)) => Err(RunError {
+                error,
+                span: self.exec_span,
+                stack: std::mem::take(&mut self.call_stack),
+            }),
+            Err(payload) => {
+                let msg = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "unknown panic payload".to_string()
+                };
+                Err(RunError {
+                    error: RuntimeError::Internal(msg),
+                    span: self.exec_span,
+                    stack: std::mem::take(&mut self.call_stack),
+                })
+            }
+        }
+    }
+
+    fn run_inner(&mut self) -> RResult<()> {
         let main: FuncDef = self
             .checked
             .funcs
@@ -467,6 +628,16 @@ impl Program {
     }
 
     // ---- internals shared by the exec submodules -------------------------
+
+    /// The innermost parallel context.
+    ///
+    /// Invariant: only called from paths reached with a construct open
+    /// (`ctx` non-empty) — every access path splits on `ctx.is_empty()`
+    /// first. A violation is an executor bug, contained by the
+    /// `catch_unwind` in [`Program::run`].
+    pub(crate) fn cur_ctx(&self) -> &ParCtx {
+        self.ctx.last().expect("inside a parallel construct")
+    }
 
     /// A fresh deterministic seed for one `rand()` instruction.
     pub(crate) fn next_rand_seed(&mut self) -> u64 {

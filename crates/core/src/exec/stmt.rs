@@ -24,8 +24,10 @@ impl Program {
         f: &FuncDef,
         args: Vec<Scalar>,
     ) -> RResult<Option<Scalar>> {
-        if self.frames.len() > 256 {
-            return Err(RuntimeError::IterationLimit("function recursion"));
+        let max_depth = self.config.limits.max_call_depth;
+        if self.frames.len() >= max_depth {
+            // `max_depth` frames may be live; the call creating one more traps.
+            return Err(RuntimeError::CallDepthExceeded { max: max_depth });
         }
         let mut scope = Scope::default();
         for ((ty, name), v) in f.params.iter().zip(args) {
@@ -36,6 +38,10 @@ impl Program {
             scope.vars.insert(name.clone(), LocalVar::Scalar(coerce_scalar(v, ty)));
         }
         self.frames.push(Frame { scopes: vec![scope] });
+        // exec_span currently points at the calling statement — that is
+        // the call site recorded for the error stack. Popped on success
+        // only, so a failing run still shows where it was.
+        self.call_stack.push((f.name.clone(), self.exec_span));
         // A user function runs on the front end even when called from a
         // parallel construct (its arguments are scalars); hide the
         // caller's iteration spaces for the duration of the call. The
@@ -46,7 +52,9 @@ impl Program {
         self.ctx = saved_ctx;
         let frame = self.frames.pop().expect("frame pushed above");
         self.free_frame(frame);
-        match flow? {
+        let flow = flow?;
+        self.call_stack.pop();
+        match flow {
             Flow::Return(v) => Ok(v),
             _ => Ok(None),
         }
@@ -97,7 +105,28 @@ impl Program {
         Ok(flow)
     }
 
+    /// Source span of a statement, when it carries one. `None` keeps the
+    /// enclosing statement's span (blocks, `;`).
+    fn stmt_span(s: &Stmt) -> Option<crate::span::Span> {
+        match s {
+            Stmt::Expr(e) => Some(e.span()),
+            Stmt::Decl(v) => Some(v.span),
+            Stmt::IndexSets(defs) => defs.first().map(|d| d.span),
+            Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::Return(_, span)
+            | Stmt::Break(span)
+            | Stmt::Continue(span) => Some(*span),
+            Stmt::Uc(uc) => Some(uc.span),
+            Stmt::Block(_) | Stmt::Empty => None,
+        }
+    }
+
     pub(crate) fn exec_stmt(&mut self, s: &Stmt) -> RResult<Flow> {
+        if let Some(sp) = Self::stmt_span(s) {
+            self.exec_span = sp;
+        }
         match s {
             Stmt::Empty => Ok(Flow::Normal),
             Stmt::Expr(e) => {
@@ -160,9 +189,12 @@ impl Program {
                 let mut iters = 0u64;
                 while self.eval_scalar(cond)?.as_bool() {
                     iters += 1;
-                    if iters > self.config.max_iterations {
+                    if iters > self.config.limits.max_iterations {
                         return Err(RuntimeError::IterationLimit("while loop"));
                     }
+                    // A pure front-end loop body never ticks the machine,
+                    // so the deadline must be polled here.
+                    self.machine.poll_deadline()?;
                     match self.exec_stmt(body)? {
                         Flow::Break => break,
                         Flow::Return(v) => return Ok(Flow::Return(v)),
@@ -189,9 +221,10 @@ impl Program {
                         }
                     }
                     iters += 1;
-                    if iters > self.config.max_iterations {
+                    if iters > self.config.limits.max_iterations {
                         return Err(RuntimeError::IterationLimit("for loop"));
                     }
+                    self.machine.poll_deadline()?;
                     match self.exec_stmt(body)? {
                         Flow::Break => break,
                         Flow::Return(v) => return Ok(Flow::Return(v)),
@@ -296,6 +329,16 @@ impl Program {
                         def.name
                     )));
                 }
+                // Cap the materialised size before collecting: a hostile
+                // `[0 .. 1<<40]` must trap, not OOM the process.
+                let len = (hi as i128 - lo as i128 + 1) as u64;
+                if len > self.config.limits.max_index_set {
+                    return Err(RuntimeError::IndexSetTooLarge {
+                        name: def.name.clone(),
+                        len,
+                        max: self.config.limits.max_index_set,
+                    });
+                }
                 (lo..=hi).collect()
             }
             IndexSetInit::List(items) => {
@@ -351,7 +394,7 @@ impl Program {
             let mut iters = 0u64;
             loop {
                 iters += 1;
-                if iters > self.config.max_iterations {
+                if iters > self.config.limits.max_iterations {
                     return Err(RuntimeError::IterationLimit("*par"));
                 }
                 if !self.run_arms(uc, true)? {
@@ -469,7 +512,7 @@ impl Program {
             let mut iters = 0u64;
             loop {
                 iters += 1;
-                if iters > self.config.max_iterations {
+                if iters > self.config.limits.max_iterations {
                     return Err(RuntimeError::IterationLimit("*seq"));
                 }
                 let mut any_enabled = false;
@@ -549,7 +592,7 @@ impl Program {
             let mut iters = 0u64;
             loop {
                 iters += 1;
-                if iters > self.config.max_iterations {
+                if iters > self.config.limits.max_iterations {
                     return Err(RuntimeError::IterationLimit("*oneof"));
                 }
                 // Find the enabled arms.
@@ -694,7 +737,7 @@ impl Program {
             let mut iters = 0u64;
             loop {
                 iters += 1;
-                if iters > self.config.max_iterations {
+                if iters > self.config.limits.max_iterations {
                     return Err(RuntimeError::IterationLimit("solve"));
                 }
                 let mut progress = false;
@@ -881,7 +924,7 @@ impl Program {
                 let mut iters = 0u64;
                 loop {
                     iters += 1;
-                    if iters > self.config.max_iterations {
+                    if iters > self.config.limits.max_iterations {
                         return Err(RuntimeError::IterationLimit("*solve"));
                     }
                     for (_, field, snap) in &targets {

@@ -59,5 +59,5 @@ pub mod stdlib;
 pub mod token;
 
 pub use diag::{Diagnostic, Diagnostics, Severity};
-pub use exec::{ExecConfig, Program, RuntimeError};
+pub use exec::{ExecConfig, ExecLimits, Program, RunError, RuntimeError};
 pub use span::Span;

@@ -155,7 +155,10 @@ fn interpret_one(checked: &Checked, decl: &MapDecl) -> Result<ArrayMapping, Stri
                         "permute dimensions must use the same element (found `{te}` vs `{se}`)"
                     ));
                 }
-                offsets.push(tc - sc);
+                offsets.push(
+                    tc.checked_sub(sc)
+                        .ok_or("permute offset overflows a 64-bit integer")?,
+                );
             }
             if offsets.len() != target_info.shape.len() {
                 return Err("permute pattern rank does not match the array".into());
@@ -188,7 +191,9 @@ fn interpret_one(checked: &Checked, decl: &MapDecl) -> Result<ArrayMapping, Stri
                     .iter()
                     .any(|e| matches!(elem_plus_const(e), Some((n, _)) if n == info.elem));
                 if !used {
-                    replicas *= info.elements.len();
+                    replicas = replicas
+                        .checked_mul(info.elements.len())
+                        .ok_or("copy mapping replica count overflows")?;
                 }
             }
             if replicas <= 1 {
@@ -217,7 +222,8 @@ fn elem_plus_const(e: &Expr) -> Option<(String, i64)> {
         }
         Expr::Binary { op: BinaryOp::Sub, lhs, rhs, .. } => {
             if let (Expr::Ident(n, _), Expr::IntLit(c, _)) = (lhs.as_ref(), rhs.as_ref()) {
-                Some((n.clone(), -*c))
+                // checked: `elem - (i64::MIN)` must not abort the compiler.
+                Some((n.clone(), c.checked_neg()?))
             } else {
                 None
             }
@@ -252,10 +258,12 @@ fn fold_const(e: &Expr, consts: &std::collections::HashMap<String, i64>) -> Opti
         Expr::Binary { op, lhs, rhs, .. } => {
             let l = fold_const(lhs, consts)?;
             let r = fold_const(rhs, consts)?;
+            // checked: hostile `#define` constants must fail the pattern
+            // match, not overflow (the build runs with overflow-checks).
             match op {
-                BinaryOp::Add => Some(l + r),
-                BinaryOp::Sub => Some(l - r),
-                BinaryOp::Mul => Some(l * r),
+                BinaryOp::Add => l.checked_add(r),
+                BinaryOp::Sub => l.checked_sub(r),
+                BinaryOp::Mul => l.checked_mul(r),
                 _ => None,
             }
         }

@@ -18,6 +18,10 @@ use crate::diag::Diagnostics;
 use crate::span::Span;
 use crate::stdlib;
 
+/// Compile-time cap on the elements a constant index-set range may
+/// materialise. Mirrors `ExecLimits::max_index_set` in the executor.
+pub const MAX_CONST_INDEX_SET: u64 = 1 << 22;
+
 /// An evaluated index set: ordered constant integers plus the element
 /// identifier used to range over it.
 #[derive(Debug, Clone, PartialEq)]
@@ -261,6 +265,21 @@ impl<'a> Checker<'a> {
                     self.diags.error(
                         def.span,
                         format!("index-set range {{{lo}..{hi}}} is empty or reversed"),
+                    );
+                    return None;
+                }
+                // Constant ranges are materialised at compile time; cap
+                // them so a hostile `[0 .. 1<<40]` is a diagnostic, not an
+                // OOM. Matches the executor's runtime `max_index_set`.
+                let len = hi as i128 - lo as i128 + 1;
+                if len > MAX_CONST_INDEX_SET as i128 {
+                    self.diags.error(
+                        def.span,
+                        format!(
+                            "index set `{}` materialises {len} elements \
+                             (limit {MAX_CONST_INDEX_SET})",
+                            def.name
+                        ),
                     );
                     return None;
                 }

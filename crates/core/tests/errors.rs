@@ -12,7 +12,7 @@ fn compile_err(src: &str) -> String {
 
 fn runtime_err(src: &str) -> RuntimeError {
     let mut p = Program::compile(src).unwrap_or_else(|d| panic!("compile failed:\n{d}"));
-    p.run().expect_err("expected runtime failure")
+    p.run().expect_err("expected runtime failure").error
 }
 
 // ---- compile-time -----------------------------------------------------------
@@ -190,18 +190,21 @@ fn iteration_limit_on_divergent_star_par() {
         int a[N];
         main() { *par (I) st (1) a[i] = a[i] + 1; }
     "#;
-    let cfg = uc_core::ExecConfig { max_iterations: 100, ..Default::default() };
+    let limits = uc_core::ExecLimits { max_iterations: 100, ..Default::default() };
+    let cfg = uc_core::ExecConfig { limits, ..Default::default() };
     let mut p = Program::compile_with(src, cfg).unwrap();
     let err = p.run().expect_err("must hit the iteration cap");
-    assert!(matches!(err, RuntimeError::IterationLimit(_)), "{err}");
+    assert!(matches!(err.error, RuntimeError::IterationLimit(_)), "{err}");
 }
 
 #[test]
 fn iteration_limit_on_infinite_while() {
     let src = "main() { while (1) ; }";
-    let cfg = uc_core::ExecConfig { max_iterations: 100, ..Default::default() };
+    let limits = uc_core::ExecLimits { max_iterations: 100, ..Default::default() };
+    let cfg = uc_core::ExecConfig { limits, ..Default::default() };
     let mut p = Program::compile_with(src, cfg).unwrap();
-    assert!(matches!(p.run(), Err(RuntimeError::IterationLimit(_))));
+    let err = p.run().expect_err("must hit the iteration cap");
+    assert!(matches!(err.error, RuntimeError::IterationLimit(_)));
 }
 
 #[test]

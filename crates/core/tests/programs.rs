@@ -459,7 +459,7 @@ fn multiple_assignment_conflict_detected() {
     "#;
     let mut p = Program::compile(src).unwrap();
     let err = p.run().unwrap_err();
-    assert!(matches!(err, uc_core::RuntimeError::MultipleAssignment { .. }), "{err}");
+    assert!(matches!(err.error, uc_core::RuntimeError::MultipleAssignment { .. }), "{err}");
 }
 
 #[test]

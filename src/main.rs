@@ -1,10 +1,23 @@
 //! `uc` — the command-line driver.
 //!
 //! ```text
-//! uc run <file.uc> [-D NAME=VALUE]...     compile and run on the simulated CM
-//! uc check <file.uc> [options]            parse, sema + static-analysis lints
-//! uc emit-cstar <file.uc>                 print the C* translation (§5)
+//! uc run <file.uc> [-D NAME=VALUE]... [limits]   compile and run on the simulated CM
+//! uc check <file.uc> [options]                   parse, sema + static-analysis lints
+//! uc emit-cstar <file.uc>                        print the C* translation (§5)
 //! ```
+//!
+//! `run` resource limits (see `ExecLimits` for the semantics):
+//!
+//! ```text
+//! --fuel N          simulated-cycle budget (default unlimited)
+//! --max-mem BYTES   live machine memory budget (default 256 MiB)
+//! --max-depth N     UC call-stack depth (default 256)
+//! --timeout-ms N    wall-clock deadline for the run (default none)
+//! ```
+//!
+//! Exceeding any budget stops the program with a structured
+//! `... budget exceeded` diagnostic and a nonzero exit code — never a
+//! panic, hang, or OOM.
 //!
 //! `check` options:
 //!
@@ -16,7 +29,8 @@
 //!
 //! `run` executes `main()` and then prints every global scalar and array
 //! together with the simulated cycle count and instruction mix — the
-//! numbers the paper's figures plot.
+//! numbers the paper's figures plot. Runtime failures are rendered as
+//! `file:line:col: error: ...` followed by the UC call stack.
 //!
 //! The simulator's hot loops run on a work-stealing thread pool sized
 //! from the `UC_THREADS` environment variable when set (clamped to
@@ -25,9 +39,16 @@
 //! the thread count — the variable only affects wall-clock time.
 
 use std::process::ExitCode;
+use std::sync::Mutex;
 
 use uc::lang::analysis::{self, LintConfig};
-use uc::lang::{ExecConfig, Program};
+use uc::lang::{Diagnostics, ExecConfig, Program, RunError, RuntimeError, Span};
+
+/// Location line captured by the silent panic hook, appended to
+/// `RuntimeError::Internal` diagnostics. The hook must not print: the
+/// panic is contained at the `Program::run` boundary and reported as a
+/// structured error instead.
+static PANIC_INFO: Mutex<Option<String>> = Mutex::new(None);
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,9 +64,27 @@ fn main() -> ExitCode {
     let mut defines: Vec<(String, i64)> = Vec::new();
     let mut cfg = LintConfig::default();
     let mut format = Format::Text;
+    let mut exec_cfg = ExecConfig::default();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--fuel" | "--max-mem" | "--max-depth" | "--timeout-ms" if cmd == "run" => {
+                let flag = a.as_str();
+                let Some(raw) = it.next() else {
+                    eprintln!("error: {flag} needs a number");
+                    return ExitCode::FAILURE;
+                };
+                let Ok(n) = raw.parse::<u64>() else {
+                    eprintln!("error: {flag} {raw}: expected a non-negative integer");
+                    return ExitCode::FAILURE;
+                };
+                match flag {
+                    "--fuel" => exec_cfg.limits.fuel = Some(n),
+                    "--max-mem" => exec_cfg.limits.max_mem_bytes = Some(n),
+                    "--max-depth" => exec_cfg.limits.max_call_depth = n as usize,
+                    _ => exec_cfg.limits.timeout_ms = Some(n),
+                }
+            }
             "-D" => {
                 let Some(spec) = it.next() else {
                     eprintln!("error: -D needs NAME=VALUE");
@@ -130,11 +169,11 @@ fn main() -> ExitCode {
         return check(path, &src, &define_refs, &cfg, format);
     }
 
-    let program = Program::compile_with_defines(&src, ExecConfig::default(), &define_refs);
+    let program = Program::compile_with_defines(&src, exec_cfg, &define_refs);
     let mut program = match program {
         Ok(p) => p,
         Err(diags) => {
-            eprint!("{diags}");
+            eprint!("{}", diags.render_with_path(path));
             return ExitCode::FAILURE;
         }
     };
@@ -145,8 +184,16 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "run" => {
-            if let Err(e) = program.run() {
-                eprintln!("runtime error: {e}");
+            // Contain internal panics: Program::run catches them and
+            // reports RuntimeError::Internal; the hook keeps the default
+            // "thread panicked" banner off stderr and saves the location.
+            std::panic::set_hook(Box::new(|info| {
+                *PANIC_INFO.lock().unwrap() = Some(info.to_string());
+            }));
+            let result = program.run();
+            let _ = std::panic::take_hook();
+            if let Err(e) = result {
+                render_run_error(path, &e);
                 return ExitCode::FAILURE;
             }
             report(&mut program);
@@ -163,6 +210,40 @@ fn main() -> ExitCode {
 enum Format {
     Text,
     Json,
+}
+
+/// Render a runtime failure as a diagnostic — `file:line:col: error: ...`
+/// — followed by the UC call stack, innermost call first.
+fn render_run_error(path: &str, e: &RunError) {
+    let mut diags = Diagnostics::default();
+    diags.error(e.span, format!("runtime error: {}", e.error));
+    if e.span == Span::default() {
+        // No statement span (e.g. `main` missing): skip the 0:0 position.
+        eprintln!("{path}: runtime error: {}", e.error);
+    } else {
+        eprint!("{}", diags.render_with_path(path));
+    }
+    let frames: Vec<&(String, Span)> = e.stack.iter().rev().collect();
+    for (k, (name, site)) in frames.iter().enumerate() {
+        // Deep recursion would print hundreds of identical lines; show
+        // the innermost frames and summarise the rest.
+        if k == 8 && frames.len() > 10 {
+            eprintln!("    ... {} more frames ...", frames.len() - 9);
+        }
+        if k >= 8 && k + 1 < frames.len() && frames.len() > 10 {
+            continue;
+        }
+        if *site == Span::default() {
+            eprintln!("    in `{name}`");
+        } else {
+            eprintln!("    in `{name}` called at {path}:{site}");
+        }
+    }
+    if matches!(e.error, RuntimeError::Internal(_)) {
+        if let Some(info) = PANIC_INFO.lock().unwrap().take() {
+            eprintln!("    panic origin: {info}");
+        }
+    }
 }
 
 /// `uc check`: full front end plus every lint pass; exit failure iff the

@@ -83,6 +83,62 @@ fn runtime_errors_are_reported() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("bounds"));
 }
 
+/// `--fuel` must kill a program that would otherwise never terminate,
+/// with a nonzero exit and a diagnostic that names the spent budget.
+#[test]
+fn fuel_flag_kills_an_infinite_loop() {
+    let src = r#"
+        #define N 8
+        index_set I:i = {0..N-1};
+        int a[N];
+        main() { while (1) par (I) a[i] = a[i] + 1; }
+    "#;
+    let path = write_temp("uc_cli_fuel.uc", src);
+    let out = uc()
+        .args(["run", path.to_str().unwrap(), "--fuel", "50000"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("budget exceeded"), "{stderr}");
+    // The failure is located: file, line and column of the trapping
+    // statement, rendered through the shared diagnostics path.
+    assert!(stderr.contains("uc_cli_fuel.uc:"), "{stderr}");
+}
+
+/// `--timeout-ms` bounds even loops that never touch the machine.
+#[test]
+fn timeout_flag_kills_a_front_end_spin() {
+    let path = write_temp("uc_cli_spin.uc", "main() { while (1) ; }");
+    let out = uc()
+        .args(["run", path.to_str().unwrap(), "--timeout-ms", "200"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("budget exceeded"), "{stderr}");
+}
+
+/// `--max-depth` turns runaway recursion into a located diagnostic with
+/// a UC-level call stack.
+#[test]
+fn max_depth_flag_reports_a_call_stack() {
+    let src = r#"
+        int out;
+        int down(int n) { return down(n + 1); }
+        main() { out = down(0); }
+    "#;
+    let path = write_temp("uc_cli_depth.uc", src);
+    let out = uc()
+        .args(["run", path.to_str().unwrap(), "--max-depth", "12"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("budget exceeded"), "{stderr}");
+    assert!(stderr.contains("in `down`"), "{stderr}");
+}
+
 /// A program with one deliberate UC101 race for the lint-flag tests.
 const RACY: &str = r#"
     index_set I:i = {0..7};

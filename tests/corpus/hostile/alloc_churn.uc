@@ -1,0 +1,14 @@
+/* An endless loop that allocates and frees parallel locals every pass:
+ * memory must not creep (the budget would catch a leak) and a cycle or
+ * wall-clock budget must end the loop. */
+#define N 16
+index_set I:i = {0..N-1};
+int a[N];
+main() {
+    while (1) {
+        par (I) {
+            int t = i * 2;
+            a[i] = t + 1;
+        }
+    }
+}

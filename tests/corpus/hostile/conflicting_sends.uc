@@ -1,0 +1,8 @@
+/* Every virtual processor sends a different value to the same element:
+ * the exclusive-write rule (paper §2.2) must trap the collision. */
+#define N 8
+index_set I:i = {0..N-1};
+int a[N];
+main() {
+    par (I) a[0] = i;
+}

@@ -1,0 +1,9 @@
+/* Unbounded self-recursion: must trap on the call-depth budget, not
+ * blow the host stack. */
+int out;
+int down(int n) {
+    return down(n + 1);
+}
+main() {
+    out = down(0);
+}

@@ -1,0 +1,8 @@
+/* Every active processor divides by zero at once. */
+#define N 64
+index_set I:i = {0..N-1};
+int a[N], z[N];
+main() {
+    par (I) z[i] = 0;
+    par (I) a[i] = (i + 1) / z[i];
+}

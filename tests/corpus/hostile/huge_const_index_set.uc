@@ -1,0 +1,7 @@
+/* A 2^30-element constant index set: the front end must reject the
+ * materialisation outright instead of allocating gigabytes. */
+index_set I:i = {0..1073741823};
+int s;
+main() {
+    s = $+(I; 1);
+}

@@ -1,0 +1,9 @@
+/* Never terminates, and every iteration issues machine instructions:
+ * the cycle-fuel budget, the iteration cap or the wall-clock deadline
+ * must stop it. */
+#define N 8
+index_set I:i = {0..N-1};
+int a[N];
+main() {
+    while (1) par (I) a[i] = a[i] + 1;
+}

@@ -1,0 +1,8 @@
+/* 2^20 x 64 ints = 512 MiB of field storage, over the default 256 MiB
+ * budget: allocation must be refused up front, never attempted. */
+#define N 1048576
+index_set I:i = {0..N-1};
+int a[N][64];
+main() {
+    par (I) a[i][0] = i;
+}

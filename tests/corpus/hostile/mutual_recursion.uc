@@ -1,0 +1,12 @@
+/* Unbounded mutual recursion: the depth budget must catch cycles that
+ * never revisit the same function frame shape. */
+int out;
+int ping(int n) {
+    return pong(n + 1);
+}
+int pong(int n) {
+    return ping(n + 1);
+}
+main() {
+    out = ping(0);
+}

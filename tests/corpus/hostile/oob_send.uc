@@ -1,0 +1,8 @@
+/* i*i runs far past the extent of `a`: the router must bounds-check
+ * the send, not scribble or crash. */
+#define N 8
+index_set I:i = {0..N-1};
+int a[N];
+main() {
+    par (I) a[i * i] = i;
+}

@@ -1,0 +1,10 @@
+/* Index-set bounds are compile-time constants in UC; a bound computed
+ * at run time must be rejected with a clean diagnostic, and the
+ * executor keeps its own materialisation cap as defence in depth. */
+int n, out;
+main() {
+    n = 1;
+    while (n < 134217728) n = n * 2;
+    index_set J:j = {0..n};
+    out = n;
+}

@@ -1,0 +1,6 @@
+/* A pure front-end spin: the body issues no machine instructions, so
+ * fuel never burns. The iteration cap or the polled deadline must
+ * still bound it. */
+main() {
+    while (1) ;
+}

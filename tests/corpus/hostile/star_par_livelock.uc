@@ -1,0 +1,9 @@
+/* The guard never goes false and the state oscillates, so the *par
+ * fixpoint never converges: the iteration cap, fuel or deadline must
+ * stop it. Kept tiny so capped runs resolve quickly. */
+#define N 2
+index_set I:i = {0..N-1};
+int a[N];
+main() {
+    *par (I) st (1) a[i] = 1 - a[i];
+}

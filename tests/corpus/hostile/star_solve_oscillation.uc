@@ -1,0 +1,9 @@
+/* *solve iterates to a fixed point that does not exist: every step
+ * flips every cell. Must hit a budget, never hang. */
+#define N 4
+index_set I:i = {0..N-1}, J:j = I;
+int d[N][N];
+main() {
+    par (I, J) d[i][j] = (i + j) % 2;
+    *solve (I, J) d[i][j] = 1 - d[i][j];
+}

@@ -1,0 +1,8 @@
+/* A zero-sized geometry: N = 0 makes the index range {0..-1} empty and
+ * the array extent zero. Must be a structured rejection, not a crash. */
+#define N 0
+index_set I:i = {0..N-1};
+int a[N];
+main() {
+    par (I) a[i] = 0;
+}
