@@ -1,0 +1,43 @@
+//! Criterion bench for compile-once/run-many execution throughput.
+//!
+//! Each benchmark compiles a Figure 6/7 kernel once — for the IR
+//! backend that includes lowering and the pass pipeline — then measures
+//! repeat executions of the warmed program. The comparison isolates the
+//! front-end interpretation cost (plus the worker-thread spawn the IR
+//! backend elides when a program lowers completely) from compilation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use uc_bench::{compile_pinned, UC_APSP_N2, UC_APSP_N3};
+use uc_core::ExecBackend;
+
+fn bench_kernel(c: &mut Criterion, group_name: &str, src: &str) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for n in [4usize, 8, 16] {
+        let defines =
+            [("N", n as i64), ("LOGN", (usize::BITS - (n - 1).leading_zeros()) as i64)];
+        for (tag, backend) in
+            [("ast", ExecBackend::Ast), ("ir", ExecBackend::Ir)]
+        {
+            let mut p = compile_pinned(src, &defines, backend);
+            p.run().unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(tag, n),
+                &n,
+                |b, _| b.iter(|| p.run().unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    bench_kernel(c, "exec_repeat_fig6", UC_APSP_N2);
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    bench_kernel(c, "exec_repeat_fig7", UC_APSP_N3);
+}
+
+criterion_group!(benches, bench_fig6, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Regenerate the executor-backend A/B: compile-once/run-many wall
+//! clock for the Figure 6/7 kernels under the AST tree-walker and the
+//! compiled register IR, measured back to back in one process. Usage:
+//! `exec_repeat [--json]`.
+
+fn main() {
+    let ns = [4, 8, 16];
+    let fig = uc_bench::exec_repeat(&ns, 50);
+    print!("{}", uc_bench::render(&fig));
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", uc_bench::to_json(&fig));
+    }
+}

@@ -6,12 +6,20 @@
 //! `UC_THREADS` environment variable; see the `rayon` shim). Every kernel
 //! here is either a pure elementwise map — identical for any thread count
 //! by construction — or an order-sensitive fold (scan/reduce building
-//! blocks) that is chunked by [`chunk_ranges`], a pure function of the
+//! blocks) that is chunked by [`chunk_at`], a pure function of the
 //! element count alone. Chunk layout never depends on the thread count,
 //! so even float folds, which are sensitive to association order, are
 //! bit-identical under any `UC_THREADS` — simulations stay deterministic.
 //! (The cycle clock is charged *before* execution, so cost accounting is
 //! thread-count-independent too.)
+//!
+//! The chunked fan-outs are allocation-free: per-chunk partials land in
+//! caller-provided stack arrays (chunk counts are bounded by
+//! [`MAX_CHUNKS`]) and the pool's batch dispatch queues `Copy` chunk
+//! descriptors rather than boxed closures, so a warm simulator performs
+//! zero heap allocations per parallel op at **any** size and thread
+//! count — `crates/cm/tests/alloc_count.rs` asserts this on both sides
+//! of `PAR_THRESHOLD`.
 
 use rayon::prelude::*;
 use std::ops::Range;
@@ -23,45 +31,98 @@ pub const PAR_THRESHOLD: usize = 1 << 13;
 /// `with_min_len` chunking hint on every parallel pipeline here).
 pub const CHUNK_MIN: usize = 1 << 10;
 
-/// Upper bound on the number of chunks [`chunk_ranges`] produces. Bounds
+/// Upper bound on the number of chunks [`chunk_count`] produces. Bounds
 /// the sequential chunk-combine step of scans/reductions while leaving
 /// enough chunks for every realistic pool size to balance load.
 pub const MAX_CHUNKS: usize = 64;
 
-/// Partition `0..len` into contiguous chunks of at least [`CHUNK_MIN`]
-/// elements (at most [`MAX_CHUNKS`] chunks).
-///
-/// The partition depends on `len` **only** — never on the thread count —
-/// so order-sensitive folds over these chunks (float scans/reductions)
-/// associate identically under any `UC_THREADS` setting.
-pub fn chunk_ranges(len: usize) -> Vec<Range<usize>> {
-    if len == 0 {
-        return Vec::new();
-    }
-    let chunk = len.div_ceil(MAX_CHUNKS).max(CHUNK_MIN);
-    let mut out = Vec::with_capacity(len.div_ceil(chunk));
-    let mut start = 0;
-    while start < len {
-        let end = (start + chunk).min(len);
-        out.push(start..end);
-        start = end;
-    }
-    out
+/// Elements per chunk for a `len`-element partition: at least
+/// [`CHUNK_MIN`], at most [`MAX_CHUNKS`] chunks.
+fn chunk_size(len: usize) -> usize {
+    len.div_ceil(MAX_CHUNKS).max(CHUNK_MIN)
 }
 
-/// Apply `f` to every chunk of `0..len` in parallel, collecting per-chunk
-/// results in chunk order. The chunk layout is [`chunk_ranges`]'s, so the
-/// result vector is deterministic for any thread count.
-pub fn map_chunks<O, F>(len: usize, f: F) -> Vec<O>
+/// Number of chunks `0..len` partitions into — a pure function of `len`
+/// alone, **never** of the thread count, so order-sensitive folds over
+/// these chunks (float scans/reductions) associate identically under any
+/// `UC_THREADS` setting. Always `<=` [`MAX_CHUNKS`].
+pub fn chunk_count(len: usize) -> usize {
+    if len == 0 {
+        0
+    } else {
+        len.div_ceil(chunk_size(len))
+    }
+}
+
+/// The `k`-th chunk of the `0..len` partition (`k < chunk_count(len)`).
+pub fn chunk_at(len: usize, k: usize) -> Range<usize> {
+    let c = chunk_size(len);
+    (k * c)..((k + 1) * c).min(len)
+}
+
+/// Apply `f` to every chunk of `0..len` in parallel, writing chunk `k`'s
+/// result to `out[k]`; returns the chunk count. `out` is caller-provided
+/// (a stack array, typically `[id; MAX_CHUNKS]`) so the fan-out performs
+/// no heap allocation. Chunk layout is [`chunk_at`]'s, so the results
+/// are deterministic for any thread count.
+pub fn map_chunks_into<O, F>(len: usize, out: &mut [O; MAX_CHUNKS], f: F) -> usize
 where
     O: Send,
     F: Fn(Range<usize>) -> O + Sync,
 {
-    let ranges = chunk_ranges(len);
-    if ranges.len() <= 1 || len < PAR_THRESHOLD {
-        return ranges.into_iter().map(f).collect();
+    let n = chunk_count(len);
+    if n <= 1 || len < PAR_THRESHOLD {
+        for (k, slot) in out.iter_mut().enumerate().take(n) {
+            *slot = f(chunk_at(len, k));
+        }
+    } else {
+        (0..n)
+            .into_par_iter()
+            .zip(out[..n].par_iter_mut())
+            .with_min_len(1)
+            .for_each(|(k, slot)| *slot = f(chunk_at(len, k)));
     }
-    ranges.par_iter().with_min_len(1).map(|r| f(r.clone())).collect()
+    n
+}
+
+/// Run `f(k, chunk, &mut data[chunk])` for every chunk of
+/// `0..data.len()` in parallel — the in-place sibling of
+/// [`map_chunks_into`] for per-chunk passes that write disjoint regions
+/// (the blocked scan's second pass). Allocation-free.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, Range<usize>, &mut [T]) + Sync,
+{
+    let len = data.len();
+    let n = chunk_count(len);
+    if n <= 1 || len < PAR_THRESHOLD {
+        let mut rest = data;
+        for k in 0..n {
+            let r = chunk_at(len, k);
+            let (head, tail) = rest.split_at_mut(r.len());
+            f(k, r, head);
+            rest = tail;
+        }
+        return;
+    }
+    let base = SendPtr(data.as_mut_ptr());
+    (0..n).into_par_iter().with_min_len(1).for_each(|k| {
+        let r = chunk_at(len, k);
+        // Chunks are disjoint, so the derived `&mut` slices never alias.
+        let chunk =
+            unsafe { std::slice::from_raw_parts_mut(base.get().add(r.start), r.len()) };
+        f(k, r, chunk);
+    });
+}
+
+/// Raw pointer that may cross threads; writes are to disjoint chunks.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    fn get(&self) -> *mut T {
+        self.0
+    }
 }
 
 /// Elementwise map of one slice.
@@ -391,16 +452,16 @@ where
     if a.len() < PAR_THRESHOLD {
         return a.iter().zip(b).any(|(x, y)| f(x, y));
     }
-    map_chunks(a.len(), |r| r.into_iter().any(|i| f(&a[i], &b[i])))
-        .into_iter()
-        .any(|hit| hit)
+    let mut hits = [false; MAX_CHUNKS];
+    let n = map_chunks_into(a.len(), &mut hits, |r| r.into_iter().any(|i| f(&a[i], &b[i])));
+    hits[..n].iter().any(|&hit| hit)
 }
 
 /// Parallel fold of the `mask`-active elements of `v` with an associative
-/// `fold`, starting from `id`: per-chunk folds run on the pool, then the
-/// per-chunk results are folded in chunk order. Chunk layout is
-/// [`chunk_ranges`], so the association — and hence even float results —
-/// is identical for any thread count.
+/// `fold`, starting from `id`: per-chunk folds run on the pool (partials
+/// landing in a stack array), then the partials are folded in chunk
+/// order. Chunk layout is [`chunk_at`], so the association — and hence
+/// even float results — is identical for any thread count.
 pub fn fold_active<T, F>(v: &[T], mask: &[bool], id: T, fold: F) -> T
 where
     T: Copy + Send + Sync,
@@ -414,13 +475,13 @@ where
             .filter(|(_, &m)| m)
             .fold(id, |acc, (&x, _)| fold(acc, x));
     }
-    map_chunks(v.len(), |r| {
+    let mut parts = [id; MAX_CHUNKS];
+    let n = map_chunks_into(v.len(), &mut parts, |r| {
         r.into_iter()
             .filter(|&i| mask[i])
             .fold(id, |acc, i| fold(acc, v[i]))
-    })
-    .into_iter()
-    .fold(id, &fold)
+    });
+    parts[..n].iter().fold(id, |acc, &x| fold(acc, x))
 }
 
 /// Index of the first `mask`-active element, scanning chunks in parallel.
@@ -428,23 +489,9 @@ pub fn first_active(mask: &[bool]) -> Option<usize> {
     if mask.len() < PAR_THRESHOLD {
         return mask.iter().position(|&m| m);
     }
-    map_chunks(mask.len(), |r| r.into_iter().find(|&i| mask[i]))
-        .into_iter()
-        .flatten()
-        .next()
-}
-
-/// Split `data` into the mutable chunk slices of [`chunk_ranges`], for
-/// parallel per-chunk passes that write disjoint regions.
-pub fn chunk_slices_mut<'a, T>(data: &'a mut [T], ranges: &[Range<usize>]) -> Vec<&'a mut [T]> {
-    let mut rest = data;
-    let mut out = Vec::with_capacity(ranges.len());
-    for r in ranges {
-        let (head, tail) = rest.split_at_mut(r.len());
-        out.push(head);
-        rest = tail;
-    }
-    out
+    let mut parts = [None; MAX_CHUNKS];
+    let n = map_chunks_into(mask.len(), &mut parts, |r| r.into_iter().find(|&i| mask[i]));
+    parts[..n].iter().find_map(|&hit| hit)
 }
 
 #[cfg(test)]
@@ -489,17 +536,30 @@ mod tests {
     }
 
     #[test]
-    fn chunk_ranges_cover_exactly() {
+    fn chunks_cover_exactly() {
         for len in [0usize, 1, CHUNK_MIN - 1, CHUNK_MIN, PAR_THRESHOLD, 1 << 16, (1 << 16) + 7] {
-            let ranges = chunk_ranges(len);
+            let n = chunk_count(len);
+            assert!(n <= MAX_CHUNKS);
             let mut next = 0;
-            for r in &ranges {
+            for k in 0..n {
+                let r = chunk_at(len, k);
                 assert_eq!(r.start, next, "contiguous at len={len}");
                 assert!(r.end > r.start);
                 next = r.end;
             }
             assert_eq!(next, len, "covers 0..len for len={len}");
-            assert!(ranges.len() <= MAX_CHUNKS);
+        }
+    }
+
+    #[test]
+    fn map_chunks_into_orders_partials() {
+        let len = PAR_THRESHOLD + 17;
+        let mut parts = [0usize; MAX_CHUNKS];
+        let n = map_chunks_into(len, &mut parts, |r| r.len());
+        assert_eq!(n, chunk_count(len));
+        assert_eq!(parts[..n].iter().sum::<usize>(), len);
+        for (k, &got) in parts[..n].iter().enumerate() {
+            assert_eq!(got, chunk_at(len, k).len());
         }
     }
 
@@ -545,11 +605,19 @@ mod tests {
     }
 
     #[test]
-    fn chunk_slices_mut_partition() {
-        let mut data: Vec<u32> = (0..10).collect();
-        let ranges = vec![0..3, 3..7, 7..10];
-        let slices = chunk_slices_mut(&mut data, &ranges);
-        assert_eq!(slices.len(), 3);
-        assert_eq!(slices[1], &[3, 4, 5, 6]);
+    fn for_each_chunk_mut_writes_disjoint_chunks() {
+        for len in [10usize, PAR_THRESHOLD + 33] {
+            let mut data = vec![0usize; len];
+            for_each_chunk_mut(&mut data, |k, r, chunk| {
+                assert_eq!(chunk.len(), r.len());
+                for (off, d) in chunk.iter_mut().enumerate() {
+                    *d = k * 1_000_000 + r.start + off;
+                }
+            });
+            for (i, &x) in data.iter().enumerate() {
+                let k = if len < PAR_THRESHOLD { 0 } else { i / chunk_at(len, 0).len() };
+                assert_eq!(x, k * 1_000_000 + i, "slot {i}");
+            }
+        }
     }
 }

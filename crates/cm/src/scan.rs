@@ -8,7 +8,7 @@
 //! operator is applied to an empty set of operands").
 //!
 //! Above `par::PAR_THRESHOLD` both primitives run on the host thread
-//! pool: reductions fold [`par::chunk_ranges`] chunks in parallel and
+//! pool: reductions fold [`par::chunk_at`] chunks in parallel and
 //! combine the per-chunk results in chunk order, and unsegmented scans use
 //! the classic two-pass blocked algorithm (parallel per-chunk folds, a
 //! sequential exclusive scan of the chunk sums, then a parallel per-chunk
@@ -225,7 +225,7 @@ impl Machine {
 /// destination field's storage): only active positions are written, so
 /// inactive destinations keep their old values with no separate
 /// commit pass. Unsegmented scans of at least `par::PAR_THRESHOLD`
-/// elements use the blocked two-pass algorithm over [`par::chunk_ranges`]
+/// elements use the blocked two-pass algorithm over [`par::chunk_at`]
 /// chunks; chunk layout depends only on `v.len()`, keeping results
 /// thread-count-invariant. Below the threshold (and for segmented scans)
 /// the sequential path runs and allocates nothing.
@@ -241,26 +241,38 @@ fn scan_values_into<T>(
     T: Copy + Send + Sync,
 {
     let size = v.len();
-    if segs.is_none() && size >= par::PAR_THRESHOLD {
-        let ranges = par::chunk_ranges(size);
-        if ranges.len() > 1 {
-            // Pass 1: fold each chunk's active elements.
-            let sums = par::map_chunks(size, |r| {
-                r.into_iter().filter(|&i| mask[i]).fold(id, |acc, i| fold(acc, v[i]))
-            });
-            // Exclusive scan of the chunk sums: chunk k's carry-in.
-            let mut carries = Vec::with_capacity(sums.len());
-            let mut acc = id;
-            for s in &sums {
-                carries.push(acc);
-                acc = fold(acc, *s);
-            }
-            // Pass 2: sequential prefix inside each chunk, seeded by its
-            // carry.
-            let chunks = par::chunk_slices_mut(out, &ranges);
-            scan_chunks(chunks, &ranges, &carries, v, mask, &fold, inclusive);
-            return;
+    if segs.is_none() && size >= par::PAR_THRESHOLD && par::chunk_count(size) > 1 {
+        // Pass 1: fold each chunk's active elements (partials in a
+        // stack array — the blocked path allocates nothing).
+        let mut sums = [id; par::MAX_CHUNKS];
+        let n = par::map_chunks_into(size, &mut sums, |r| {
+            r.into_iter().filter(|&i| mask[i]).fold(id, |acc, i| fold(acc, v[i]))
+        });
+        // Exclusive scan of the chunk sums: chunk k's carry-in.
+        let mut carries = [id; par::MAX_CHUNKS];
+        let mut acc = id;
+        for k in 0..n {
+            carries[k] = acc;
+            acc = fold(acc, sums[k]);
         }
+        // Pass 2: sequential prefix inside each chunk, seeded by its
+        // carry, chunks running in parallel on the pool.
+        par::for_each_chunk_mut(out, |k, r, chunk| {
+            let mut acc = carries[k];
+            for (off, slot) in chunk.iter_mut().enumerate() {
+                let i = r.start + off;
+                if mask[i] {
+                    if inclusive {
+                        acc = fold(acc, v[i]);
+                        *slot = acc;
+                    } else {
+                        *slot = acc;
+                        acc = fold(acc, v[i]);
+                    }
+                }
+            }
+        });
+        return;
     }
     let mut acc = id;
     for i in 0..size {
@@ -279,42 +291,6 @@ fn scan_values_into<T>(
             }
         }
     }
-}
-
-/// Pass 2 of the blocked scan: each chunk walks its elements sequentially
-/// starting from its carry, chunks running in parallel on the pool.
-fn scan_chunks<T>(
-    mut chunks: Vec<&mut [T]>,
-    ranges: &[std::ops::Range<usize>],
-    carries: &[T],
-    v: &[T],
-    mask: &[bool],
-    fold: &(impl Fn(T, T) -> T + Sync),
-    inclusive: bool,
-) where
-    T: Copy + Send + Sync,
-{
-    use rayon::prelude::*;
-    chunks
-        .par_iter_mut()
-        .zip(carries.par_iter())
-        .zip(ranges.par_iter())
-        .with_min_len(1)
-        .for_each(|((chunk, &carry), r)| {
-            let mut acc = carry;
-            for k in 0..chunk.len() {
-                let i = r.start + k;
-                if mask[i] {
-                    if inclusive {
-                        acc = fold(acc, v[i]);
-                        chunk[k] = acc;
-                    } else {
-                        chunk[k] = acc;
-                        acc = fold(acc, v[i]);
-                    }
-                }
-            }
-        });
 }
 
 fn reduce_int(v: &[i64], mask: &[bool], op: ReduceOp) -> Scalar {

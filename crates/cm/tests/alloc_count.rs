@@ -8,15 +8,21 @@
 //! (`dst` aliases a source) variants that check a copy out of the arena —
 //! twice to warm the pools, then asserts the third pass allocates nothing.
 //!
-//! The test lives alone in this file so the counting allocator and the
-//! single-threaded count stay exact: the VP-set size (64×64 = 4096) is below
-//! `par::PAR_THRESHOLD`, so every data-parallel helper takes its sequential
-//! path and no worker thread can contribute allocations of its own. The
-//! parallel chunk paths allocate O(#chunks) bookkeeping by design; the
-//! zero-alloc guarantee is per-element, not per-chunk, bookkeeping.
+//! The guarantee is proved on **both sides of `par::PAR_THRESHOLD`**: a
+//! 64 × 64 VP set keeps every data-parallel helper on its sequential path,
+//! and a 128 × 128 VP set drives the chunked parallel paths, whose
+//! bookkeeping lives in stack arrays (bounded by `par::MAX_CHUNKS`) and
+//! whose pool dispatch queues `Copy` chunk descriptors — so a warm pool
+//! allocates nothing at any thread count (`UC_THREADS=1` runs chunks
+//! inline; larger pools reuse the steady-state queue capacity).
+//!
+//! The tests live alone in this file and serialize on a mutex so the
+//! global allocation counter attributes every count to the pass under
+//! measurement.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use uc_cm::news::Border;
 use uc_cm::{BinOp, Combine, FieldId, Machine, ReduceOp, Scalar, UnOp, VpSetId};
@@ -48,8 +54,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
-/// 64 × 64 keeps every helper on its sequential path (< `PAR_THRESHOLD`).
-const N: i64 = 64 * 64;
+/// Serializes the measuring tests: the allocation counter is process-wide.
+static MEASURE: Mutex<()> = Mutex::new(());
 
 struct Fields {
     vp: VpSetId,
@@ -64,8 +70,8 @@ struct Fields {
     bits: FieldId,
 }
 
-fn setup(m: &mut Machine) -> Fields {
-    let vp = m.new_vp_set("grid", &[64, 64]).unwrap();
+fn setup(m: &mut Machine, dims: &[usize]) -> Fields {
+    let vp = m.new_vp_set("grid", dims).unwrap();
     Fields {
         vp,
         a: m.alloc_int(vp, "a").unwrap(),
@@ -80,10 +86,10 @@ fn setup(m: &mut Machine) -> Fields {
     }
 }
 
-/// One full pass over every hot path. Field contents are re-derived at the
-/// top so each pass is self-contained (in particular the divisor is always
-/// non-zero).
-fn chain(m: &mut Machine, x: &Fields) -> uc_cm::Result<()> {
+/// One full pass over every hot path on an `n`-element VP set. Field
+/// contents are re-derived at the top so each pass is self-contained (in
+/// particular the divisor is always non-zero).
+fn chain(m: &mut Machine, x: &Fields, n: i64) -> uc_cm::Result<()> {
     // Elementwise ALU, including the dst-aliases-source variants.
     m.iota(x.a)?;
     m.axis_coord(x.b, 1)?;
@@ -127,7 +133,7 @@ fn chain(m: &mut Machine, x: &Fields) -> uc_cm::Result<()> {
 
     // Router sends and gets through the reversal permutation.
     m.iota(x.addr)?;
-    m.binop_imm_l(BinOp::Sub, x.addr, Scalar::Int(N - 1), x.addr)?;
+    m.binop_imm_l(BinOp::Sub, x.addr, Scalar::Int(n - 1), x.addr)?;
     m.send(x.b, x.addr, x.a, Combine::Add)?;
     let _ = m.send_detect(x.b, x.addr, x.a, Combine::Max)?;
     m.send(x.a, x.addr, x.a, Combine::Overwrite)?; // src aliases dst
@@ -161,29 +167,47 @@ fn chain(m: &mut Machine, x: &Fields) -> uc_cm::Result<()> {
     Ok(())
 }
 
-#[test]
-fn warmed_hot_paths_allocate_nothing() {
+/// Warm the machine with two passes, then assert the third allocates
+/// nothing.
+fn assert_warmed_chain_allocates_nothing(dims: &[usize], label: &str) {
+    let _guard = MEASURE.lock().unwrap_or_else(|e| e.into_inner());
+    let n: i64 = dims.iter().product::<usize>() as i64;
     let mut m = Machine::with_defaults();
-    let fields = setup(&mut m);
+    let fields = setup(&mut m, dims);
 
     // Two warm-up passes: the first grows every pool to its steady-state
     // shape, the second confirms the pools have the right capacities before
     // we start counting.
-    chain(&mut m, &fields).unwrap();
-    chain(&mut m, &fields).unwrap();
+    chain(&mut m, &fields, n).unwrap();
+    chain(&mut m, &fields, n).unwrap();
 
     let before = ALLOCS.load(Ordering::SeqCst);
-    chain(&mut m, &fields).unwrap();
+    chain(&mut m, &fields, n).unwrap();
     let after = ALLOCS.load(Ordering::SeqCst);
 
     assert_eq!(
         after - before,
         0,
-        "warmed router/scan/NEWS/ALU chain must not touch the heap \
+        "warmed router/scan/NEWS/ALU chain ({label}) must not touch the heap \
          ({} allocations counted)",
         after - before
     );
 
     // The chain really did exercise the arena's checkout paths.
     assert!(m.scratch_high_water() > 0, "aliased ops should draw on the arena");
+}
+
+/// 64 × 64 = 4096 elements: below `par::PAR_THRESHOLD`, every
+/// data-parallel helper takes its sequential path.
+#[test]
+fn warmed_hot_paths_allocate_nothing() {
+    assert_warmed_chain_allocates_nothing(&[64, 64], "sequential, 64x64");
+}
+
+/// 128 × 128 = 16384 elements: above `par::PAR_THRESHOLD`, the chunked
+/// parallel paths run — chunk partials in stack arrays, chunk jobs as
+/// unboxed descriptors on the pool — and still allocate nothing warm.
+#[test]
+fn warmed_parallel_hot_paths_allocate_nothing() {
+    assert_warmed_chain_allocates_nothing(&[128, 128], "parallel, 128x128");
 }

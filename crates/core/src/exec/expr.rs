@@ -105,6 +105,7 @@ impl Program {
             for scope in frame.scopes.iter().rev() {
                 match scope.vars.get(name) {
                     Some(LocalVar::Scalar(s)) => return Ok(PV::Scalar(*s)),
+                    Some(LocalVar::Slot(i)) => return Ok(PV::Scalar(frame.regs[*i])),
                     Some(LocalVar::ParField { field, level }) => {
                         let (field, level) = (*field, *level);
                         if self.ctx.is_empty() {
@@ -123,8 +124,8 @@ impl Program {
                 }
             }
         }
-        if let Some(s) = self.globals.get(name) {
-            return Ok(PV::Scalar(*s));
+        if let Some(&i) = self.global_index.get(name) {
+            return Ok(PV::Scalar(self.globals[i as usize]));
         }
         if let Some(v) = self.checked.consts.get(name) {
             return Ok(PV::Scalar(Scalar::Int(*v)));
@@ -166,15 +167,7 @@ impl Program {
 
     fn apply_unary(&mut self, op: UnaryOp, v: PV) -> RResult<PV> {
         match (op, v) {
-            (UnaryOp::Neg, PV::Scalar(Scalar::Int(x))) => {
-                Ok(PV::Scalar(Scalar::Int(x.wrapping_neg())))
-            }
-            (UnaryOp::Neg, PV::Scalar(Scalar::Float(x))) => Ok(PV::Scalar(Scalar::Float(-x))),
-            (UnaryOp::Neg, PV::Scalar(Scalar::Bool(b))) => {
-                Ok(PV::Scalar(Scalar::Int(-(b as i64))))
-            }
-            (UnaryOp::Not, PV::Scalar(s)) => Ok(PV::Scalar(Scalar::Int(!s.as_bool() as i64))),
-            (UnaryOp::BitNot, PV::Scalar(s)) => Ok(PV::Scalar(Scalar::Int(!s.as_int()))),
+            (op, PV::Scalar(s)) => Ok(PV::Scalar(scalar_unary(op, s))),
             (op, v @ PV::Field { .. }) => {
                 let ty = self.pv_type(&v)?;
                 let vp = self
@@ -406,6 +399,17 @@ impl Program {
     }
 }
 
+/// Front-end unary arithmetic on scalars (C semantics, wrapping ints).
+pub(crate) fn scalar_unary(op: UnaryOp, s: Scalar) -> Scalar {
+    match (op, s) {
+        (UnaryOp::Neg, Scalar::Int(x)) => Scalar::Int(x.wrapping_neg()),
+        (UnaryOp::Neg, Scalar::Float(x)) => Scalar::Float(-x),
+        (UnaryOp::Neg, Scalar::Bool(b)) => Scalar::Int(-(b as i64)),
+        (UnaryOp::Not, s) => Scalar::Int(!s.as_bool() as i64),
+        (UnaryOp::BitNot, s) => Scalar::Int(!s.as_int()),
+    }
+}
+
 /// Front-end arithmetic on scalars (C semantics, wrapping ints).
 pub(crate) fn scalar_binary(op: BinaryOp, a: Scalar, b: Scalar) -> RResult<Scalar> {
     use BinaryOp::*;
@@ -512,7 +516,7 @@ fn machine_op(op: BinaryOp) -> BinOp {
 
 /// Deterministic front-end `rand()` built from the same SplitMix stream
 /// as the machine's per-VP generator.
-fn front_end_rand(seed: u64) -> i64 {
+pub(crate) fn front_end_rand(seed: u64) -> i64 {
     let mut x = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
     x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

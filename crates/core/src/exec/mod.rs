@@ -27,6 +27,7 @@ mod expr;
 mod reduce;
 mod space;
 mod stmt;
+mod vm;
 
 use std::collections::HashMap;
 
@@ -41,6 +42,11 @@ use crate::sema::{self, Checked};
 use crate::span::Span;
 
 pub use space::ParCtx;
+
+// Shared scalar semantics, reused verbatim by the IR lowering/passes and
+// the register VM so both backends compute bit-identical values.
+pub(crate) use expr::{front_end_rand, scalar_binary, scalar_unary};
+pub(crate) use space::coerce_scalar;
 
 /// Native stack for the interpreter thread. Sized so the default
 /// [`ExecLimits::max_call_depth`] of 256 UC activations fits with wide
@@ -90,6 +96,62 @@ impl Default for ExecLimits {
     }
 }
 
+/// Which executor runs the front end of the program.
+///
+/// Both backends drive the same simulated machine through the same
+/// charged operations, so results, cycle counts, and budget behaviour
+/// are bit-identical; the difference is purely host-side speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecBackend {
+    /// The original recursive AST tree-walker.
+    Ast,
+    /// The compiled register IR (see [`crate::ir`]): front-end control
+    /// flow and scalar arithmetic run on a flat bytecode interpreter;
+    /// parallel constructs execute through the same tree paths the AST
+    /// backend uses.
+    Ir,
+}
+
+impl ExecBackend {
+    /// Backend selected by the `UC_EXEC` environment variable:
+    /// `UC_EXEC=ast` forces the tree-walker, anything else (including
+    /// unset) selects the register IR.
+    pub fn from_env() -> ExecBackend {
+        match std::env::var("UC_EXEC").as_deref() {
+            Ok("ast") => ExecBackend::Ast,
+            _ => ExecBackend::Ir,
+        }
+    }
+}
+
+/// How aggressively the IR optimizer may rewrite the program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IrOpt {
+    /// Cycle-preserving passes only (constant folding, dead-store
+    /// elimination, jump threading on front-end instructions). The IR
+    /// backend stays bit-identical to the AST backend — same results,
+    /// same simulated cycles, same errors.
+    Balanced,
+    /// Additionally rewrite parallel constructs: dead-context
+    /// elimination (drop constant-false `st` arms, strip constant-true
+    /// predicates) and communication coalescing (merge adjacent `par`
+    /// constructs over the same index sets into one space setup). These
+    /// remove charged machine operations, so cycle counts may drop below
+    /// the AST backend's; results are unchanged.
+    Aggressive,
+}
+
+impl IrOpt {
+    /// Level selected by `UC_IR_OPT`: `aggressive` opts in, anything
+    /// else (including unset) keeps the cycle-preserving default.
+    pub fn from_env() -> IrOpt {
+        match std::env::var("UC_IR_OPT").as_deref() {
+            Ok("aggressive") => IrOpt::Aggressive,
+            _ => IrOpt::Balanced,
+        }
+    }
+}
+
 /// Executor configuration.
 #[derive(Debug, Clone)]
 pub struct ExecConfig {
@@ -108,6 +170,11 @@ pub struct ExecConfig {
     pub constfold: bool,
     /// Resource budgets (fuel, memory, recursion, loop caps, deadline).
     pub limits: ExecLimits,
+    /// Front-end executor: compiled register IR (default) or the AST
+    /// tree-walker. `Default` honours `UC_EXEC=ast`.
+    pub backend: ExecBackend,
+    /// IR optimization level. `Default` honours `UC_IR_OPT=aggressive`.
+    pub ir_opt: IrOpt,
 }
 
 impl Default for ExecConfig {
@@ -119,6 +186,8 @@ impl Default for ExecConfig {
             procopt: true,
             constfold: true,
             limits: ExecLimits::default(),
+            backend: ExecBackend::from_env(),
+            ir_opt: IrOpt::from_env(),
         }
     }
 }
@@ -258,6 +327,11 @@ pub(crate) enum LocalVar {
     ParField { field: FieldId, level: usize },
     /// Function-local array.
     Array(ArrayStorage),
+    /// A scalar that lives in the current frame's IR register file
+    /// ([`Frame::regs`]). The IR executor binds lowered locals by name so
+    /// tree-evaluated fragments (parallel constructs, array accesses)
+    /// resolve and assign them through the ordinary scope walk.
+    Slot(usize),
 }
 
 /// One lexical scope of a function body.
@@ -271,6 +345,10 @@ pub(crate) struct Scope {
 #[derive(Debug, Default)]
 pub(crate) struct Frame {
     pub scopes: Vec<Scope>,
+    /// Register file of the IR executor (empty for tree-walked frames).
+    /// Named locals occupy the low registers and are also reachable by
+    /// name through `scopes` via [`LocalVar::Slot`].
+    pub regs: Vec<Scalar>,
 }
 
 /// A compiled, runnable UC program.
@@ -286,7 +364,14 @@ pub struct Program {
     /// Iteration-space / array-shape VP sets, keyed by geometry.
     pub(crate) spaces: HashMap<Vec<usize>, VpSetId>,
     pub(crate) arrays: HashMap<String, ArrayStorage>,
-    pub(crate) globals: HashMap<String, Scalar>,
+    /// Global scalar values, indexed storage: the IR loads and stores
+    /// globals by position, the name map serves resolution and the
+    /// public accessors.
+    pub(crate) globals: Vec<Scalar>,
+    pub(crate) global_index: HashMap<String, u32>,
+    /// Lowered register IR (always built; executed when
+    /// [`ExecConfig::backend`] is [`ExecBackend::Ir`]).
+    pub(crate) ir: Option<std::sync::Arc<crate::ir::IrProgram>>,
     /// Parallel-context stack (innermost last).
     pub(crate) ctx: Vec<ParCtx>,
     /// Function activation stack.
@@ -372,7 +457,9 @@ impl Program {
             machine,
             spaces: HashMap::new(),
             arrays: HashMap::new(),
-            globals: HashMap::new(),
+            globals: Vec::new(),
+            global_index: HashMap::new(),
+            ir: None,
             ctx: Vec::new(),
             frames: Vec::new(),
             rand_counter: 0,
@@ -390,7 +477,21 @@ impl Program {
             d.error(crate::span::Span::default(), format!("allocation failed: {e}"));
             d
         })?;
+        p.ir = Some(std::sync::Arc::new(crate::ir::lower_program(
+            &p.checked,
+            &p.global_index,
+            p.config.ir_opt,
+        )));
         Ok(p)
+    }
+
+    /// The optimized register IR in its stable text form (`uc run
+    /// --emit ir`). See [`crate::ir`] for the format.
+    pub fn emit_ir(&self) -> String {
+        match &self.ir {
+            Some(ir) => crate::ir::text::render(ir),
+            None => String::new(),
+        }
     }
 
     fn allocate_globals(&mut self, maps: &[(String, ArrayMapping)]) -> RResult<()> {
@@ -417,19 +518,24 @@ impl Program {
             self.arrays
                 .insert(name, ArrayStorage { field, ty, shape: info.shape, mapping });
         }
-        let scalars: Vec<(String, (crate::ast::Type, Option<i64>))> = self
+        let mut scalars: Vec<(String, (crate::ast::Type, Option<i64>))> = self
             .checked
             .scalars
             .iter()
             .map(|(n, i)| (n.clone(), *i))
             .collect();
+        // Sorted so global indices (and the IR text that prints them) are
+        // deterministic across runs.
+        scalars.sort_by(|a, b| a.0.cmp(&b.0));
         for (name, (ty, init)) in scalars {
             let v = init.unwrap_or(0);
             let scalar = match ty {
                 crate::ast::Type::Float => Scalar::Float(v as f64),
                 _ => Scalar::Int(v),
             };
-            self.globals.insert(name, scalar);
+            let idx = self.globals.len() as u32;
+            self.globals.push(scalar);
+            self.global_index.insert(name, idx);
         }
         Ok(())
     }
@@ -461,21 +567,32 @@ impl Program {
         if let Some(ms) = self.config.limits.timeout_ms {
             self.machine.arm_deadline(ms);
         }
-        // The interpreter recurses natively once per UC activation, which
+        // The tree-walker recurses natively once per UC activation, which
         // at the default 256-frame budget overruns a 2 MiB thread stack
-        // in debug builds. Run on a dedicated thread with enough stack
-        // that the call-depth budget — not the host stack — is the limit.
-        let outcome = std::thread::scope(|scope| {
-            std::thread::Builder::new()
-                .name("uc-exec".into())
-                .stack_size(EXEC_STACK_BYTES)
-                .spawn_scoped(scope, || {
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_inner()))
-                })
-                .expect("spawn uc-exec thread")
-                .join()
-                .unwrap_or_else(Err)
-        });
+        // in debug builds; it runs on a dedicated thread with enough
+        // stack that the call-depth budget — not the host stack — is the
+        // limit. The IR executor keeps its activations on the heap and
+        // its native recursion bounded by statement nesting, so when the
+        // lowered program certifies that bound (`inline_ok`) the run
+        // stays on the calling thread — skipping the ~50 µs thread spawn
+        // that would otherwise dominate short repeated runs.
+        let inline = self.config.backend == ExecBackend::Ir
+            && self.ir.as_ref().is_some_and(|ir| ir.inline_ok);
+        let outcome = if inline {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_inner()))
+        } else {
+            std::thread::scope(|scope| {
+                std::thread::Builder::new()
+                    .name("uc-exec".into())
+                    .stack_size(EXEC_STACK_BYTES)
+                    .spawn_scoped(scope, || {
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run_inner()))
+                    })
+                    .expect("spawn uc-exec thread")
+                    .join()
+                    .unwrap_or_else(Err)
+            })
+        };
         self.machine.clear_deadline();
         match outcome {
             Ok(Ok(())) => {
@@ -505,6 +622,9 @@ impl Program {
     }
 
     fn run_inner(&mut self) -> RResult<()> {
+        if self.config.backend == ExecBackend::Ir && self.ir.is_some() {
+            return vm::run_main(self);
+        }
         let main: FuncDef = self
             .checked
             .funcs
@@ -597,12 +717,12 @@ impl Program {
 
     /// Read a global scalar variable.
     pub fn read_scalar(&self, name: &str) -> Option<Scalar> {
-        self.globals.get(name).copied()
+        self.global_index.get(name).map(|&i| self.globals[i as usize])
     }
 
     /// Names of all global scalar variables.
     pub fn scalar_names(&self) -> Vec<String> {
-        self.globals.keys().cloned().collect()
+        self.global_index.keys().cloned().collect()
     }
 
     /// Names of all global arrays.
@@ -612,7 +732,7 @@ impl Program {
 
     /// Read a global int scalar.
     pub fn read_int(&self, name: &str) -> Option<i64> {
-        self.globals.get(name).map(|s| s.as_int())
+        self.global_index.get(name).map(|&i| self.globals[i as usize].as_int())
     }
 
     /// The value of a `#define` constant after overrides.

@@ -1,0 +1,262 @@
+//! The register-machine evaluator for the compiled IR.
+//!
+//! Executes [`crate::ir::IrProgram`] bodies over per-activation register
+//! files, keeping UC activations on an explicit heap stack (`Act`) so
+//! the VM itself never recurses natively — only tree escapes do. Every
+//! budget check, error span, and side-effect order matches the AST
+//! tree-walker exactly; see `crate::ir` for the invariants.
+
+use std::sync::Arc;
+
+use uc_cm::{ElemType, Scalar};
+
+use super::{
+    coerce_scalar, front_end_rand, scalar_unary, scalar_binary, Frame, LocalVar, Program,
+    RResult, RuntimeError, Scope,
+};
+use crate::ir::{Instr, IrProgram, Reg};
+use crate::stdlib;
+
+/// One UC activation being executed by the VM.
+struct Act {
+    func: usize,
+    pc: usize,
+    /// Caller register receiving the return value.
+    ret_dst: Reg,
+}
+
+/// Run `main()` under the IR backend.
+pub(crate) fn run_main(p: &mut Program) -> RResult<()> {
+    let ir: Arc<IrProgram> = p.ir.as_ref().expect("IR is built at compile time").clone();
+    let Some(&main_idx) = ir.by_name.get("main") else {
+        return Err(RuntimeError::Unbound("main".into()));
+    };
+    // An unlowered `main` runs wholly through the tree-walker. So does a
+    // `main` with parameters: the tree-walker's entry call passes no
+    // arguments and leaves such parameters unbound, which register
+    // initialization cannot reproduce.
+    if ir.funcs[main_idx].body.is_none() || !ir.funcs[main_idx].params.is_empty() {
+        let main = p
+            .checked
+            .funcs
+            .get("main")
+            .cloned()
+            .ok_or_else(|| RuntimeError::Unbound("main".into()))?;
+        p.call_function(&main, Vec::new())?;
+        return Ok(());
+    }
+    let base_frames = p.frames.len();
+    let result = exec(p, &ir, main_idx);
+    if result.is_err() {
+        // Unwind like the tree-walker: every frame's scopes freed
+        // innermost-first, the call stack left intact for the report.
+        while p.frames.len() > base_frames {
+            let mut frame = p.frames.pop().expect("frames counted above");
+            while let Some(scope) = frame.scopes.pop() {
+                p.free_scope_vars(scope);
+            }
+        }
+    }
+    result
+}
+
+/// Push an activation: depth check, register file with coerced
+/// parameters, runtime frame, call-stack entry. Mirrors `call_function`.
+fn enter(
+    p: &mut Program,
+    ir: &IrProgram,
+    fi: usize,
+    acts: &mut Vec<Act>,
+    ret_dst: Reg,
+    args: Vec<Scalar>,
+) -> RResult<()> {
+    let max_depth = p.config.limits.max_call_depth;
+    if p.frames.len() >= max_depth {
+        return Err(RuntimeError::CallDepthExceeded { max: max_depth });
+    }
+    let f = &ir.funcs[fi];
+    let mut regs = vec![Scalar::Int(0); f.n_slots as usize];
+    for (i, (&float, v)) in f.params.iter().zip(args).enumerate() {
+        regs[i] = coerce_scalar(v, if float { ElemType::Float } else { ElemType::Int });
+    }
+    p.frames.push(Frame { scopes: vec![Scope::default()], regs });
+    p.call_stack.push((f.name.clone(), p.exec_span));
+    acts.push(Act { func: fi, pc: 0, ret_dst });
+    Ok(())
+}
+
+fn exec(p: &mut Program, ir: &IrProgram, main_idx: usize) -> RResult<()> {
+    let mut acts: Vec<Act> = Vec::with_capacity(8);
+    enter(p, ir, main_idx, &mut acts, 0, Vec::new())?;
+    loop {
+        let act = acts.last_mut().expect("active function");
+        let fi = act.func;
+        let pc = act.pc;
+        act.pc += 1;
+        let body = ir.funcs[fi].body.as_ref().expect("only lowered functions enter");
+        match &body.code[pc] {
+            Instr::Const { dst, v } => set(p, *dst, *v),
+            Instr::Copy { dst, src } => {
+                let v = get(p, *src);
+                set(p, *dst, v);
+            }
+            Instr::Bin { op, dst, a, b } => {
+                let v = scalar_binary(*op, get(p, *a), get(p, *b))?;
+                set(p, *dst, v);
+            }
+            Instr::Un { op, dst, a } => {
+                let v = scalar_unary(*op, get(p, *a));
+                set(p, *dst, v);
+            }
+            Instr::Truthy { dst, src } => {
+                let v = Scalar::Int(get(p, *src).as_bool() as i64);
+                set(p, *dst, v);
+            }
+            Instr::StoreSlot { slot, src, float } => {
+                let ty = if *float { ElemType::Float } else { ElemType::Int };
+                let v = coerce_scalar(get(p, *src), ty);
+                set(p, *slot, v);
+            }
+            Instr::LoadGlobal { dst, g } => {
+                let v = p.globals[*g as usize];
+                set(p, *dst, v);
+            }
+            Instr::StoreGlobal { g, src } => {
+                let g = *g as usize;
+                let v = get(p, *src);
+                let ty = p.globals[g].elem_type();
+                p.globals[g] = coerce_scalar(v, ty);
+            }
+            Instr::Jump { t } => acts.last_mut().expect("active").pc = *t as usize,
+            Instr::JumpIfFalse { c, t } => {
+                if !get(p, *c).as_bool() {
+                    let t = *t as usize;
+                    acts.last_mut().expect("active").pc = t;
+                }
+            }
+            Instr::JumpIfTrue { c, t } => {
+                if get(p, *c).as_bool() {
+                    let t = *t as usize;
+                    acts.last_mut().expect("active").pc = t;
+                }
+            }
+            Instr::SetSpan { span } => p.exec_span = *span,
+            Instr::IterInit { slot } => set(p, *slot, Scalar::Int(0)),
+            Instr::IterCheck { slot, label } => {
+                let n = get(p, *slot).as_int() + 1;
+                set(p, *slot, Scalar::Int(n));
+                if n as u64 > p.config.limits.max_iterations {
+                    return Err(RuntimeError::IterationLimit(label));
+                }
+                p.machine.poll_deadline()?;
+            }
+            Instr::Call { dst, f, args } => {
+                let fi = *f as usize;
+                let vals: Vec<Scalar> = args.iter().map(|&r| get(p, r)).collect();
+                if ir.funcs[fi].body.is_some() {
+                    enter(p, ir, fi, &mut acts, *dst, vals)?;
+                } else {
+                    // Unlowered callee: the tree-walker runs the whole
+                    // call (only reachable on the big-stack thread —
+                    // `inline_ok` requires every function lowered).
+                    let name = &ir.funcs[fi].name;
+                    let fd = p
+                        .checked
+                        .funcs
+                        .get(name)
+                        .cloned()
+                        .ok_or_else(|| RuntimeError::Unbound(name.clone()))?;
+                    let ret = p.call_function(&fd, vals)?;
+                    set(p, *dst, ret.unwrap_or(Scalar::Int(0)));
+                }
+            }
+            Instr::Rand { dst } => {
+                let seed = p.next_rand_seed();
+                set(p, *dst, Scalar::Int(front_end_rand(seed)));
+            }
+            Instr::Power2 { dst, a } => {
+                let v = Scalar::Int(stdlib::power2(get(p, *a).as_int()));
+                set(p, *dst, v);
+            }
+            Instr::Abs { dst, a } => {
+                let v = match get(p, *a) {
+                    Scalar::Int(x) => Scalar::Int(x.wrapping_abs()),
+                    Scalar::Float(x) => Scalar::Float(x.abs()),
+                    Scalar::Bool(b) => Scalar::Int(b as i64),
+                };
+                set(p, *dst, v);
+            }
+            Instr::MinMax { dst, a, b, is_min } => {
+                let (x, y) = (get(p, *a), get(p, *b));
+                let v = if x.elem_type() == ElemType::Float || y.elem_type() == ElemType::Float {
+                    let (x, y) = (x.as_float(), y.as_float());
+                    Scalar::Float(if *is_min { x.min(y) } else { x.max(y) })
+                } else {
+                    let (x, y) = (x.as_int(), y.as_int());
+                    Scalar::Int(if *is_min { x.min(y) } else { x.max(y) })
+                };
+                set(p, *dst, v);
+            }
+            Instr::Ret { src } => {
+                let v = src.map(|r| get(p, r));
+                let done = acts.pop().expect("active");
+                let mut frame = p.frames.pop().expect("frame per activation");
+                while let Some(scope) = frame.scopes.pop() {
+                    p.free_scope_vars(scope);
+                }
+                p.call_stack.pop();
+                if acts.is_empty() {
+                    return Ok(());
+                }
+                // A valueless return yields 0, like `eval_call`.
+                set(p, done.ret_dst, v.unwrap_or(Scalar::Int(0)));
+            }
+            Instr::EnterScope => {
+                p.frames.last_mut().expect("frame").scopes.push(Scope::default());
+            }
+            Instr::ExitScopes { n } => {
+                for _ in 0..*n {
+                    let scope =
+                        p.frames.last_mut().expect("frame").scopes.pop().expect("open scope");
+                    p.free_scope_vars(scope);
+                }
+            }
+            Instr::BindName { name, slot } => {
+                p.frames
+                    .last_mut()
+                    .expect("frame")
+                    .scopes
+                    .last_mut()
+                    .expect("scope")
+                    .vars
+                    .insert(name.clone(), LocalVar::Slot(*slot as usize));
+            }
+            Instr::EvalExpr { dst, e } => {
+                let v = p.eval_scalar(&body.exprs[*e as usize])?;
+                set(p, *dst, v);
+            }
+            Instr::EvalEffect { e } => {
+                let v = p.eval(&body.exprs[*e as usize])?;
+                p.release(v);
+            }
+            Instr::Tree { s } => {
+                // Lowering only escapes statements that complete with
+                // normal flow (parallel constructs, declarations, index
+                // sets, `swap`).
+                let flow = p.exec_stmt(&body.stmts[*s as usize])?;
+                debug_assert!(matches!(flow, super::stmt::Flow::Normal));
+            }
+            Instr::Nop => {}
+        }
+    }
+}
+
+#[inline]
+fn get(p: &Program, r: Reg) -> Scalar {
+    p.frames.last().expect("frame").regs[r as usize]
+}
+
+#[inline]
+fn set(p: &mut Program, r: Reg, v: Scalar) {
+    p.frames.last_mut().expect("frame").regs[r as usize] = v;
+}

@@ -1,0 +1,841 @@
+//! Lowering from the checked AST to the register IR.
+//!
+//! Lowering is *total* and *conservative*: every statement either becomes
+//! register instructions whose semantics provably match the tree-walker,
+//! or a tree escape that runs the original AST fragment through the
+//! tree-walker itself. Expression lowering is all-or-nothing per
+//! statement-level expression — if any subexpression cannot be lowered
+//! (array access, reduction, parallel value, unknown name), the partial
+//! instructions are rolled back and the *whole* expression escapes. This
+//! guarantees escapes occur exactly at the positions where the
+//! tree-walker calls `eval_scalar` (conditions, returns, initializers)
+//! or `eval`+release (expression statements, `for` init/step), so error
+//! messages, spans, and side-effect order are identical by construction.
+//!
+//! The lowerer mirrors the runtime scope structure: every lowered block
+//! emits `EnterScope`/`ExitScopes`, every register-allocated local also
+//! gets a `BindName` so tree escapes resolve it by name, and any name
+//! bound by an escaped declaration is *poisoned* — later references to
+//! it fall back to by-name resolution.
+
+use std::collections::HashMap;
+
+use uc_cm::Scalar;
+
+use super::{Instr, IrBody, IrFunc, IrProgram, Reg, Target};
+use crate::ast::{BinaryOp, Block, Expr, FuncDef, Stmt, Type};
+use crate::exec::IrOpt;
+use crate::sema::Checked;
+
+/// Builtins the tree-walker dispatches before user functions; calls to
+/// these never recurse through `call_function`.
+const BUILTINS: &[&str] = &["power2", "rand", "abs", "ABS", "min", "max", "swap"];
+
+/// Maximum AST depth of a tree-escaped fragment for the program to stay
+/// eligible for on-thread (inline) execution. Tree evaluation recurses
+/// natively, so escapes deeper than this force the big-stack thread.
+const MAX_INLINE_TREE_DEPTH: usize = 96;
+
+/// Lower every function of a checked program.
+pub fn lower_program(
+    checked: &Checked,
+    global_index: &HashMap<String, u32>,
+    opt: IrOpt,
+) -> IrProgram {
+    let mut funcs_src: Vec<FuncDef> = checked.funcs_in_order().cloned().collect();
+    if opt == IrOpt::Aggressive {
+        for f in &mut funcs_src {
+            super::passes::aggressive_rewrite(f);
+        }
+    }
+    // Later definitions win, matching `checked.funcs` (a by-name map).
+    let mut by_name = HashMap::new();
+    for (i, f) in funcs_src.iter().enumerate() {
+        by_name.insert(f.name.clone(), i);
+    }
+    let mut funcs = Vec::with_capacity(funcs_src.len());
+    let mut inline_ok = true;
+    for f in &funcs_src {
+        let (func, stats) = Lowerer::new(checked, global_index, &by_name, &funcs_src).run(f);
+        inline_ok &= func.body.is_some()
+            && !stats.tree_user_call
+            && stats.max_tree_depth <= MAX_INLINE_TREE_DEPTH;
+        funcs.push(func);
+    }
+    for func in &mut funcs {
+        if let Some(body) = &mut func.body {
+            super::passes::optimize(body, func.n_perm);
+        }
+    }
+    let mut global_names = vec![String::new(); global_index.len()];
+    for (n, &i) in global_index {
+        global_names[i as usize] = n.clone();
+    }
+    IrProgram { funcs, by_name, global_names, opt, inline_ok }
+}
+
+/// Inline-eligibility facts gathered while lowering one function.
+struct FuncStats {
+    /// A tree escape contains a user-function call (would recurse
+    /// natively through `call_function`).
+    tree_user_call: bool,
+    /// Deepest AST subtree handed to a tree escape.
+    max_tree_depth: usize,
+}
+
+/// How a name resolves at a use site during lowering.
+#[derive(Clone, Copy)]
+enum Binding {
+    /// Register-allocated local.
+    Slot { idx: Reg, float: bool },
+    /// Bound by an escaped declaration — resolve by name at runtime.
+    Poisoned,
+}
+
+#[derive(Clone, Copy)]
+enum Place {
+    Slot { idx: Reg, float: bool },
+    Global(u32),
+}
+
+#[derive(Clone, Copy)]
+struct LoopCtx {
+    break_to: usize,
+    continue_to: usize,
+    /// `open_scopes` at the loop statement; `break`/`continue` emit
+    /// `ExitScopes` down to this depth before jumping.
+    open_scopes: u16,
+}
+
+struct Lowerer<'a> {
+    checked: &'a Checked,
+    global_index: &'a HashMap<String, u32>,
+    func_by_name: &'a HashMap<String, usize>,
+    funcs_src: &'a [FuncDef],
+
+    code: Vec<Instr>,
+    stmts: Vec<Stmt>,
+    exprs: Vec<Expr>,
+
+    /// Compile-time mirror of the runtime scope stack (prologue scope +
+    /// one per lowered block).
+    scopes: Vec<HashMap<String, Binding>>,
+    open_scopes: u16,
+    loops: Vec<LoopCtx>,
+
+    /// Label id -> instruction index (patched into jumps at the end).
+    labels: Vec<Target>,
+    patches: Vec<(usize, usize)>,
+
+    // Register allocation (u32 so overflow is detected, not wrapped).
+    next_perm: u32,
+    perm_limit: u32,
+    next_temp: u32,
+    watermark: u32,
+    failed: bool,
+
+    stats: FuncStats,
+}
+
+impl<'a> Lowerer<'a> {
+    fn new(
+        checked: &'a Checked,
+        global_index: &'a HashMap<String, u32>,
+        func_by_name: &'a HashMap<String, usize>,
+        funcs_src: &'a [FuncDef],
+    ) -> Self {
+        Lowerer {
+            checked,
+            global_index,
+            func_by_name,
+            funcs_src,
+            code: Vec::new(),
+            stmts: Vec::new(),
+            exprs: Vec::new(),
+            scopes: Vec::new(),
+            open_scopes: 0,
+            loops: Vec::new(),
+            labels: Vec::new(),
+            patches: Vec::new(),
+            next_perm: 0,
+            perm_limit: 0,
+            next_temp: 0,
+            watermark: 0,
+            failed: false,
+            stats: FuncStats { tree_user_call: false, max_tree_depth: 0 },
+        }
+    }
+
+    fn run(mut self, f: &FuncDef) -> (IrFunc, FuncStats) {
+        let params: Vec<bool> = f.params.iter().map(|(ty, _)| *ty == Type::Float).collect();
+        let mut n_perm = f.params.len();
+        for s in &f.body.stmts {
+            count_perms(s, &mut n_perm);
+        }
+        if n_perm > u16::MAX as usize {
+            self.failed = true;
+            n_perm = 0;
+        }
+        self.perm_limit = n_perm as u32;
+        self.next_temp = self.perm_limit;
+        self.watermark = self.perm_limit;
+        self.next_perm = f.params.len() as u32;
+
+        // Prologue: parameters live in the frame's base scope, exactly
+        // where `call_function` puts them.
+        self.scopes.push(HashMap::new());
+        for (i, (ty, name)) in f.params.iter().enumerate() {
+            let idx = i as Reg;
+            self.code.push(Instr::BindName { name: name.clone(), slot: idx });
+            self.scopes
+                .last_mut()
+                .unwrap()
+                .insert(name.clone(), Binding::Slot { idx, float: *ty == Type::Float });
+        }
+        self.lower_block(&f.body);
+        // Falling off the end returns nothing, like `exec_block` ending
+        // with `Flow::Normal`.
+        self.code.push(Instr::Ret { src: None });
+
+        for (i, l) in &self.patches {
+            let t = self.labels[*l];
+            match &mut self.code[*i] {
+                Instr::Jump { t: x }
+                | Instr::JumpIfFalse { t: x, .. }
+                | Instr::JumpIfTrue { t: x, .. } => *x = t,
+                other => unreachable!("patched a non-jump: {other:?}"),
+            }
+        }
+
+        let body = if self.failed {
+            None
+        } else {
+            Some(IrBody { code: self.code, stmts: self.stmts, exprs: self.exprs })
+        };
+        (
+            IrFunc {
+                name: f.name.clone(),
+                params,
+                n_slots: self.watermark.min(u16::MAX as u32) as u16,
+                n_perm: self.perm_limit as u16,
+                body,
+            },
+            self.stats,
+        )
+    }
+
+    // ---- registers, labels, scopes ------------------------------------
+
+    fn temp(&mut self) -> Reg {
+        let r = self.next_temp;
+        self.next_temp += 1;
+        if self.next_temp > u16::MAX as u32 + 1 {
+            self.failed = true;
+            return 0;
+        }
+        self.watermark = self.watermark.max(self.next_temp);
+        r as Reg
+    }
+
+    /// Temporaries are dead between statements; reuse them.
+    fn reset_temps(&mut self) {
+        self.next_temp = self.perm_limit;
+    }
+
+    fn alloc_perm(&mut self) -> Reg {
+        let r = self.next_perm;
+        self.next_perm += 1;
+        if self.next_perm > self.perm_limit {
+            self.failed = true;
+            return 0;
+        }
+        r as Reg
+    }
+
+    fn new_label(&mut self) -> usize {
+        self.labels.push(Target::MAX);
+        self.labels.len() - 1
+    }
+
+    fn bind(&mut self, l: usize) {
+        self.labels[l] = self.code.len() as Target;
+    }
+
+    fn emit_jump(&mut self, l: usize, make: impl FnOnce(Target) -> Instr) {
+        self.patches.push((self.code.len(), l));
+        self.code.push(make(Target::MAX));
+    }
+
+    fn scope_mut(&mut self) -> &mut HashMap<String, Binding> {
+        self.scopes.last_mut().expect("inside a scope")
+    }
+
+    // ---- escapes ------------------------------------------------------
+
+    fn emit_span(&mut self, s: &Stmt) {
+        if let Some(sp) = crate::exec::Program::stmt_span(s) {
+            self.code.push(Instr::SetSpan { span: sp });
+        }
+    }
+
+    /// Escape a whole statement to the tree-walker. `exec_stmt` sets the
+    /// span itself, so no `SetSpan` is emitted here.
+    fn tree_stmt(&mut self, s: &Stmt) {
+        self.poison_decls(s);
+        let mut call = false;
+        let d = stmt_depth(s, &mut call);
+        self.stats.tree_user_call |= call;
+        self.stats.max_tree_depth = self.stats.max_tree_depth.max(d);
+        let idx = self.stmts.len() as u32;
+        self.stmts.push(s.clone());
+        self.code.push(Instr::Tree { s: idx });
+    }
+
+    fn account_expr(&mut self, e: &Expr) {
+        let mut call = false;
+        let d = expr_depth(e, &mut call);
+        self.stats.tree_user_call |= call;
+        self.stats.max_tree_depth = self.stats.max_tree_depth.max(d);
+    }
+
+    /// Lower an expression at an `eval_scalar` position, escaping the
+    /// whole expression if it cannot be compiled.
+    fn lower_value(&mut self, e: &Expr) -> Reg {
+        if let Some(r) = self.try_expr(e) {
+            return r;
+        }
+        self.account_expr(e);
+        let idx = self.exprs.len() as u32;
+        self.exprs.push(e.clone());
+        let t = self.temp();
+        self.code.push(Instr::EvalExpr { dst: t, e: idx });
+        t
+    }
+
+    /// Lower an expression at a statement (`eval` + release) position.
+    fn lower_effect(&mut self, e: &Expr) {
+        if self.try_expr(e).is_some() {
+            return; // value discarded; DSE cleans up pure leftovers
+        }
+        self.account_expr(e);
+        let idx = self.exprs.len() as u32;
+        self.exprs.push(e.clone());
+        self.code.push(Instr::EvalEffect { e: idx });
+    }
+
+    /// All-or-nothing expression lowering: on failure every emitted
+    /// instruction, label, and temp is rolled back.
+    fn try_expr(&mut self, e: &Expr) -> Option<Reg> {
+        let cp = (self.code.len(), self.patches.len(), self.labels.len(), self.next_temp);
+        match self.go_expr(e) {
+            Some(r) => Some(r),
+            None => {
+                self.code.truncate(cp.0);
+                self.patches.truncate(cp.1);
+                self.labels.truncate(cp.2);
+                self.next_temp = cp.3;
+                None
+            }
+        }
+    }
+
+    // ---- expressions --------------------------------------------------
+
+    fn emit_const(&mut self, v: Scalar) -> Option<Reg> {
+        let t = self.temp();
+        self.code.push(Instr::Const { dst: t, v });
+        Some(t)
+    }
+
+    fn resolve(&self, name: &str) -> Option<Binding> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(b) = scope.get(name) {
+                return Some(*b);
+            }
+        }
+        None
+    }
+
+    fn go_expr(&mut self, e: &Expr) -> Option<Reg> {
+        match e {
+            Expr::IntLit(v, _) => self.emit_const(Scalar::Int(*v)),
+            Expr::FloatLit(v, _) => self.emit_const(Scalar::Float(*v)),
+            Expr::Inf(_) => self.emit_const(Scalar::Int(i64::MAX)),
+            Expr::Ident(name, _) => match self.resolve(name) {
+                Some(Binding::Slot { idx, .. }) => {
+                    // Copy to a temp: the value is captured at read time
+                    // (`x + (x = 3)` reads the old `x`).
+                    let t = self.temp();
+                    self.code.push(Instr::Copy { dst: t, src: idx });
+                    Some(t)
+                }
+                Some(Binding::Poisoned) => None,
+                None => {
+                    if let Some(&g) = self.global_index.get(name) {
+                        let t = self.temp();
+                        self.code.push(Instr::LoadGlobal { dst: t, g });
+                        Some(t)
+                    } else if let Some(v) = self.checked.consts.get(name) {
+                        self.emit_const(Scalar::Int(*v))
+                    } else {
+                        None // unbound / array / index element: escape
+                    }
+                }
+            },
+            Expr::Index { .. } | Expr::Reduce(_) => None,
+            Expr::Unary { op, expr, .. } => {
+                let a = self.go_expr(expr)?;
+                let t = self.temp();
+                self.code.push(Instr::Un { op: *op, dst: t, a });
+                Some(t)
+            }
+            Expr::Binary { op: op @ (BinaryOp::LogAnd | BinaryOp::LogOr), lhs, rhs, .. } => {
+                let a = self.go_expr(lhs)?;
+                let t = self.temp();
+                self.code.push(Instr::Truthy { dst: t, src: a });
+                let end = self.new_label();
+                if *op == BinaryOp::LogAnd {
+                    self.emit_jump(end, |tg| Instr::JumpIfFalse { c: t, t: tg });
+                } else {
+                    self.emit_jump(end, |tg| Instr::JumpIfTrue { c: t, t: tg });
+                }
+                let b = self.go_expr(rhs)?;
+                self.code.push(Instr::Truthy { dst: t, src: b });
+                self.bind(end);
+                Some(t)
+            }
+            Expr::Binary { op, lhs, rhs, .. } => {
+                let a = self.go_expr(lhs)?;
+                let b = self.go_expr(rhs)?;
+                let t = self.temp();
+                self.code.push(Instr::Bin { op: *op, dst: t, a, b });
+                Some(t)
+            }
+            Expr::Ternary { cond, then_e, else_e, .. } => {
+                let c = self.go_expr(cond)?;
+                let t = self.temp();
+                let lelse = self.new_label();
+                let lend = self.new_label();
+                self.emit_jump(lelse, |tg| Instr::JumpIfFalse { c, t: tg });
+                let a = self.go_expr(then_e)?;
+                self.code.push(Instr::Copy { dst: t, src: a });
+                self.emit_jump(lend, |tg| Instr::Jump { t: tg });
+                self.bind(lelse);
+                let b = self.go_expr(else_e)?;
+                self.code.push(Instr::Copy { dst: t, src: b });
+                self.bind(lend);
+                Some(t)
+            }
+            Expr::Call { name, args, .. } => self.go_call(name, args),
+            Expr::Assign { target, op, value, .. } => {
+                let Expr::Ident(name, _) = target.as_ref() else { return None };
+                let place = match self.resolve(name) {
+                    Some(Binding::Slot { idx, float }) => Place::Slot { idx, float },
+                    Some(Binding::Poisoned) => return None,
+                    None => match self.global_index.get(name) {
+                        Some(&g) => Place::Global(g),
+                        // `#define` constants and unknown names are not
+                        // assignable: escape for the identical error.
+                        None => return None,
+                    },
+                };
+                // Tree order: value first, then the old value for
+                // compound assignments.
+                let r = self.go_expr(value)?;
+                let src = match op {
+                    None => r,
+                    Some(bop) => {
+                        let old = self.temp();
+                        match place {
+                            Place::Slot { idx, .. } => {
+                                self.code.push(Instr::Copy { dst: old, src: idx })
+                            }
+                            Place::Global(g) => {
+                                self.code.push(Instr::LoadGlobal { dst: old, g })
+                            }
+                        }
+                        let t = self.temp();
+                        self.code.push(Instr::Bin { op: *bop, dst: t, a: old, b: r });
+                        t
+                    }
+                };
+                match place {
+                    Place::Slot { idx, float } => {
+                        self.code.push(Instr::StoreSlot { slot: idx, src, float })
+                    }
+                    Place::Global(g) => self.code.push(Instr::StoreGlobal { g, src }),
+                }
+                Some(src) // assignments yield the pre-coercion value
+            }
+        }
+    }
+
+    /// Builtins match before user functions, exactly like `eval_call`.
+    /// Argument-count mismatches escape so the tree-walker produces the
+    /// identical behaviour (including its panics on missing arguments
+    /// and its silent `zip` truncation for user calls).
+    fn go_call(&mut self, name: &str, args: &[Expr]) -> Option<Reg> {
+        match name {
+            "power2" => {
+                let a = self.go_expr(args.first()?)?;
+                let t = self.temp();
+                self.code.push(Instr::Power2 { dst: t, a });
+                Some(t)
+            }
+            "rand" => {
+                // `rand()` never evaluates its arguments.
+                let t = self.temp();
+                self.code.push(Instr::Rand { dst: t });
+                Some(t)
+            }
+            "abs" | "ABS" => {
+                let a = self.go_expr(args.first()?)?;
+                let t = self.temp();
+                self.code.push(Instr::Abs { dst: t, a });
+                Some(t)
+            }
+            "min" | "max" => {
+                if args.len() < 2 {
+                    return None;
+                }
+                let a = self.go_expr(&args[0])?;
+                let b = self.go_expr(&args[1])?;
+                let t = self.temp();
+                self.code.push(Instr::MinMax { dst: t, a, b, is_min: name == "min" });
+                Some(t)
+            }
+            "swap" => None, // expression-position swap is an error: escape
+            _ => {
+                let &fi = self.func_by_name.get(name)?;
+                if self.funcs_src[fi].params.len() != args.len() {
+                    return None;
+                }
+                let mut regs = Vec::with_capacity(args.len());
+                for a in args {
+                    regs.push(self.go_expr(a)?);
+                }
+                let t = self.temp();
+                self.code.push(Instr::Call { dst: t, f: fi as u32, args: regs });
+                Some(t)
+            }
+        }
+    }
+
+    // ---- statements ---------------------------------------------------
+
+    fn lower_block(&mut self, b: &Block) {
+        self.code.push(Instr::EnterScope);
+        self.open_scopes += 1;
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.reset_temps();
+            self.lower_stmt(s);
+        }
+        self.scopes.pop();
+        self.open_scopes -= 1;
+        self.code.push(Instr::ExitScopes { n: 1 });
+    }
+
+    /// A branch body (`if`/loop). A bare declaration here binds
+    /// conditionally, which registers cannot express: escape it.
+    fn lower_branch(&mut self, s: &Stmt) {
+        self.reset_temps();
+        if matches!(s, Stmt::Decl(_)) {
+            self.tree_stmt(s);
+        } else {
+            self.lower_stmt(s);
+        }
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Empty => {}
+            Stmt::Block(b) => self.lower_block(b),
+            Stmt::Expr(e) => {
+                // Statement-level `swap` is a tree-walker special form.
+                if let Expr::Call { name, .. } = e {
+                    if name == "swap" {
+                        self.tree_stmt(s);
+                        return;
+                    }
+                }
+                self.emit_span(s);
+                self.lower_effect(e);
+            }
+            Stmt::Decl(v) => {
+                if !v.dims.is_empty() {
+                    self.tree_stmt(s); // array declaration
+                    return;
+                }
+                self.emit_span(s);
+                let init = match &v.init {
+                    Some(e) => self.lower_value(e),
+                    None => {
+                        let t = self.temp();
+                        self.code.push(Instr::Const { dst: t, v: Scalar::Int(0) });
+                        t
+                    }
+                };
+                let slot = self.alloc_perm();
+                let float = v.ty == Type::Float;
+                self.code.push(Instr::StoreSlot { slot, src: init, float });
+                // The binding appears only after the initializer ran,
+                // like `exec_decl`.
+                self.code.push(Instr::BindName { name: v.name.clone(), slot });
+                self.scope_mut().insert(v.name.clone(), Binding::Slot { idx: slot, float });
+            }
+            Stmt::IndexSets(_) | Stmt::Uc(_) => self.tree_stmt(s),
+            Stmt::If { cond, then_branch, else_branch, .. } => {
+                self.emit_span(s);
+                let c = self.lower_value(cond);
+                let lelse = self.new_label();
+                self.emit_jump(lelse, |t| Instr::JumpIfFalse { c, t });
+                self.lower_branch(then_branch);
+                if let Some(eb) = else_branch {
+                    let lend = self.new_label();
+                    self.emit_jump(lend, |t| Instr::Jump { t });
+                    self.bind(lelse);
+                    self.lower_branch(eb);
+                    self.bind(lend);
+                } else {
+                    self.bind(lelse);
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                self.emit_span(s);
+                let cnt = self.alloc_perm();
+                self.code.push(Instr::IterInit { slot: cnt });
+                let head = self.new_label();
+                let exit = self.new_label();
+                self.bind(head);
+                self.reset_temps();
+                let c = self.lower_value(cond);
+                self.emit_jump(exit, |t| Instr::JumpIfFalse { c, t });
+                self.code.push(Instr::IterCheck { slot: cnt, label: "while loop" });
+                self.loops.push(LoopCtx {
+                    break_to: exit,
+                    continue_to: head,
+                    open_scopes: self.open_scopes,
+                });
+                self.lower_branch(body);
+                self.loops.pop();
+                self.emit_jump(head, |t| Instr::Jump { t });
+                self.bind(exit);
+            }
+            Stmt::For { init, cond, step, body, .. } => {
+                self.emit_span(s);
+                if let Some(e) = init {
+                    self.reset_temps();
+                    self.lower_effect(e);
+                }
+                let cnt = self.alloc_perm();
+                self.code.push(Instr::IterInit { slot: cnt });
+                let head = self.new_label();
+                let stepl = self.new_label();
+                let exit = self.new_label();
+                self.bind(head);
+                self.reset_temps();
+                if let Some(c) = cond {
+                    let cv = self.lower_value(c);
+                    self.emit_jump(exit, |t| Instr::JumpIfFalse { c: cv, t });
+                }
+                self.code.push(Instr::IterCheck { slot: cnt, label: "for loop" });
+                self.loops.push(LoopCtx {
+                    break_to: exit,
+                    continue_to: stepl,
+                    open_scopes: self.open_scopes,
+                });
+                self.lower_branch(body);
+                self.loops.pop();
+                self.bind(stepl);
+                self.reset_temps();
+                if let Some(e) = step {
+                    self.lower_effect(e);
+                }
+                self.emit_jump(head, |t| Instr::Jump { t });
+                self.bind(exit);
+            }
+            Stmt::Return(e, _) => {
+                self.emit_span(s);
+                let src = e.as_ref().map(|e| self.lower_value(e));
+                self.code.push(Instr::Ret { src });
+            }
+            Stmt::Break(_) => {
+                self.emit_span(s);
+                match self.loops.last().copied() {
+                    Some(lc) => {
+                        let n = self.open_scopes - lc.open_scopes;
+                        if n > 0 {
+                            self.code.push(Instr::ExitScopes { n });
+                        }
+                        self.emit_jump(lc.break_to, |t| Instr::Jump { t });
+                    }
+                    // `break` outside any loop unwinds to the caller
+                    // (`call_function` maps stray flow to `Ok(None)`).
+                    None => self.code.push(Instr::Ret { src: None }),
+                }
+            }
+            Stmt::Continue(_) => {
+                self.emit_span(s);
+                match self.loops.last().copied() {
+                    Some(lc) => {
+                        let n = self.open_scopes - lc.open_scopes;
+                        if n > 0 {
+                            self.code.push(Instr::ExitScopes { n });
+                        }
+                        self.emit_jump(lc.continue_to, |t| Instr::Jump { t });
+                    }
+                    None => self.code.push(Instr::Ret { src: None }),
+                }
+            }
+        }
+    }
+
+    /// Names bound by an escaped statement must resolve by name from
+    /// then on. Blocks are not descended — their bindings die with the
+    /// block — but conditional and parallel bodies may leak bindings
+    /// into the enclosing runtime scope.
+    fn poison_decls(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Decl(v) => {
+                self.scope_mut().insert(v.name.clone(), Binding::Poisoned);
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                self.poison_decls(then_branch);
+                if let Some(e) = else_branch {
+                    self.poison_decls(e);
+                }
+            }
+            Stmt::While { body, .. } | Stmt::For { body, .. } => self.poison_decls(body),
+            Stmt::Uc(uc) => {
+                for arm in &uc.arms {
+                    self.poison_decls(&arm.body);
+                }
+                if let Some(o) = &uc.others {
+                    self.poison_decls(o);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Upper bound on named registers a function needs: parameters, scalar
+/// declarations, and one iteration counter per loop. Overcounts (e.g.
+/// declarations that end up escaped) are harmless.
+fn count_perms(s: &Stmt, n: &mut usize) {
+    match s {
+        Stmt::Decl(v) if v.dims.is_empty() => *n += 1,
+        Stmt::Block(b) => {
+            for s in &b.stmts {
+                count_perms(s, n);
+            }
+        }
+        Stmt::If { then_branch, else_branch, .. } => {
+            count_perms(then_branch, n);
+            if let Some(e) = else_branch {
+                count_perms(e, n);
+            }
+        }
+        Stmt::While { body, .. } | Stmt::For { body, .. } => {
+            *n += 1;
+            count_perms(body, n);
+        }
+        // Parallel constructs escape whole; nothing inside them is
+        // register-allocated.
+        _ => {}
+    }
+}
+
+// ---- escape statistics ----------------------------------------------
+
+fn stmt_depth(s: &Stmt, user_call: &mut bool) -> usize {
+    let d = match s {
+        Stmt::Expr(e) => expr_depth(e, user_call),
+        Stmt::Decl(v) => v
+            .dims
+            .iter()
+            .chain(v.init.as_ref())
+            .map(|e| expr_depth(e, user_call))
+            .max()
+            .unwrap_or(0),
+        Stmt::IndexSets(defs) => defs
+            .iter()
+            .map(|d| match &d.init {
+                crate::ast::IndexSetInit::Range(a, b) => {
+                    expr_depth(a, user_call).max(expr_depth(b, user_call))
+                }
+                crate::ast::IndexSetInit::List(es) => {
+                    es.iter().map(|e| expr_depth(e, user_call)).max().unwrap_or(0)
+                }
+                crate::ast::IndexSetInit::Alias(_) => 0,
+            })
+            .max()
+            .unwrap_or(0),
+        Stmt::Block(b) => b.stmts.iter().map(|s| stmt_depth(s, user_call)).max().unwrap_or(0),
+        Stmt::If { cond, then_branch, else_branch, .. } => expr_depth(cond, user_call)
+            .max(stmt_depth(then_branch, user_call))
+            .max(else_branch.as_ref().map_or(0, |e| stmt_depth(e, user_call))),
+        Stmt::While { cond, body, .. } => {
+            expr_depth(cond, user_call).max(stmt_depth(body, user_call))
+        }
+        Stmt::For { init, cond, step, body, .. } => init
+            .iter()
+            .chain(cond.iter())
+            .chain(step.iter())
+            .map(|e| expr_depth(e, user_call))
+            .max()
+            .unwrap_or(0)
+            .max(stmt_depth(body, user_call)),
+        Stmt::Return(e, _) => e.as_ref().map_or(0, |e| expr_depth(e, user_call)),
+        Stmt::Uc(uc) => uc
+            .arms
+            .iter()
+            .map(|a| {
+                a.pred
+                    .as_ref()
+                    .map_or(0, |p| expr_depth(p, user_call))
+                    .max(stmt_depth(&a.body, user_call))
+            })
+            .max()
+            .unwrap_or(0)
+            .max(uc.others.as_ref().map_or(0, |o| stmt_depth(o, user_call))),
+        Stmt::Break(_) | Stmt::Continue(_) | Stmt::Empty => 0,
+    };
+    d + 1
+}
+
+fn expr_depth(e: &Expr, user_call: &mut bool) -> usize {
+    let d = match e {
+        Expr::IntLit(..) | Expr::FloatLit(..) | Expr::Inf(_) | Expr::Ident(..) => 0,
+        Expr::Index { subs, .. } => {
+            subs.iter().map(|e| expr_depth(e, user_call)).max().unwrap_or(0)
+        }
+        Expr::Call { name, args, .. } => {
+            if !BUILTINS.contains(&name.as_str()) {
+                *user_call = true;
+            }
+            args.iter().map(|e| expr_depth(e, user_call)).max().unwrap_or(0)
+        }
+        Expr::Unary { expr, .. } => expr_depth(expr, user_call),
+        Expr::Binary { lhs, rhs, .. } => {
+            expr_depth(lhs, user_call).max(expr_depth(rhs, user_call))
+        }
+        Expr::Ternary { cond, then_e, else_e, .. } => expr_depth(cond, user_call)
+            .max(expr_depth(then_e, user_call))
+            .max(expr_depth(else_e, user_call)),
+        Expr::Assign { target, value, .. } => {
+            expr_depth(target, user_call).max(expr_depth(value, user_call))
+        }
+        Expr::Reduce(r) => r
+            .arms
+            .iter()
+            .map(|(p, o)| {
+                p.as_ref().map_or(0, |p| expr_depth(p, user_call)).max(expr_depth(o, user_call))
+            })
+            .max()
+            .unwrap_or(0)
+            .max(r.others.as_ref().map_or(0, |o| expr_depth(o, user_call))),
+    };
+    d + 1
+}

@@ -1,0 +1,191 @@
+//! The compiled register IR.
+//!
+//! The AST tree-walker in [`crate::exec`] re-dispatches on every node of
+//! every expression, every iteration — pure host-side overhead, since
+//! front-end scalar work charges no simulated cycles. This module lowers
+//! each checked function into a flat instruction sequence over a
+//! per-activation register file, which the register-machine evaluator in
+//! `exec::vm` runs without any native recursion of its own.
+//!
+//! ## Shape of the IR
+//!
+//! A function body is a `Vec<Instr>` plus two side tables of AST
+//! fragments. Three instruction families split the work:
+//!
+//! * **Registers** (`Const`, `Copy`, `Bin`, `Un`, `Truthy`, `StoreSlot`,
+//!   `LoadGlobal`, `StoreGlobal`, `Jump*`, `Call`, `Ret`, builtins) —
+//!   front-end control flow and scalar arithmetic, fully compiled.
+//!   Named locals live in the low registers ("slots"); expression
+//!   temporaries above them, reset per statement.
+//! * **Tree escapes** (`Tree`, `EvalExpr`, `EvalEffect`) — parallel
+//!   constructs, array accesses, reductions, and anything else the
+//!   lowering cannot prove scalar runs through the *same* tree-walking
+//!   code the AST backend uses, on an AST fragment stored in the side
+//!   table. `BindName`/`EnterScope`/`ExitScopes` mirror the runtime
+//!   scope structure so those fragments resolve lowered locals by name
+//!   (via [`crate::exec` `LocalVar::Slot`]).
+//! * **Budget ops** (`IterInit`/`IterCheck`, `SetSpan`) — reproduce the
+//!   tree-walker's iteration caps, deadline polls, and error spans
+//!   exactly, so a failing program reports the identical `RunError`
+//!   under either backend.
+//!
+//! Lowering is total: a construct the compiler cannot lower becomes a
+//! tree escape, and a function whose lowering would overflow the
+//! register file keeps `body: None` (the VM calls it through the
+//! tree-walker). Behaviour is therefore always identical to the AST
+//! backend; lowering quality only affects host speed.
+//!
+//! ## Pass pipeline
+//!
+//! [`passes::optimize`] runs per-instruction passes after lowering:
+//! constant folding within basic blocks, jump simplification against
+//! known conditions, dead-store elimination on expression temporaries,
+//! unreachable-code removal, and scope-instruction stripping for
+//! functions with no tree escapes. All of these touch only uncharged
+//! front-end instructions, so results, simulated cycles, and errors are
+//! bit-identical to the tree-walker ([`IrOpt::Balanced`], the default).
+//! [`IrOpt::Aggressive`] additionally rewrites parallel constructs at
+//! the AST level before lowering — dead-context elimination and
+//! communication coalescing — which removes *charged* machine
+//! operations: results are unchanged but cycle counts may drop below
+//! the AST backend's.
+//!
+//! `uc run --emit ir` (and `uc check --emit ir`) print the program in
+//! the stable text form produced by [`text::render`].
+
+pub mod lower;
+pub mod passes;
+pub mod text;
+
+pub use lower::lower_program;
+
+use uc_cm::Scalar;
+
+use crate::ast::{BinaryOp, Expr, Stmt, UnaryOp};
+use crate::exec::IrOpt;
+use crate::span::Span;
+
+/// Register index. Slots `0..n_perm` are named locals, parameters, and
+/// loop counters; `n_perm..n_slots` are per-statement temporaries.
+pub type Reg = u16;
+
+/// Instruction index (jump target).
+pub type Target = u32;
+
+/// One IR instruction. See the module docs for the three families.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instr {
+    /// `r[dst] = v`
+    Const { dst: Reg, v: Scalar },
+    /// `r[dst] = r[src]`
+    Copy { dst: Reg, src: Reg },
+    /// `r[dst] = r[a] op r[b]` (front-end C semantics, wrapping ints;
+    /// traps on division by zero).
+    Bin { op: BinaryOp, dst: Reg, a: Reg, b: Reg },
+    /// `r[dst] = op r[a]`
+    Un { op: UnaryOp, dst: Reg, a: Reg },
+    /// `r[dst] = (r[src] != 0) as int` — the value `&&`/`||` produce.
+    Truthy { dst: Reg, src: Reg },
+    /// `r[slot] = coerce(r[src], declared type)` — assignment to a named
+    /// local, coercing to its declared type (`float` or int).
+    StoreSlot { slot: Reg, src: Reg, float: bool },
+    /// `r[dst] = globals[g]`
+    LoadGlobal { dst: Reg, g: u32 },
+    /// `globals[g] = coerce(r[src], type of globals[g])`
+    StoreGlobal { g: u32, src: Reg },
+    /// Unconditional jump.
+    Jump { t: Target },
+    /// Jump when `r[c]` is falsy.
+    JumpIfFalse { c: Reg, t: Target },
+    /// Jump when `r[c]` is truthy.
+    JumpIfTrue { c: Reg, t: Target },
+    /// `exec_span = span` — emitted where the tree-walker's `exec_stmt`
+    /// would set the span, so errors report identical positions.
+    SetSpan { span: Span },
+    /// `r[slot] = 0` — reset a loop's iteration counter.
+    IterInit { slot: Reg },
+    /// Bump the counter, trap on [`crate::exec::ExecLimits::max_iterations`],
+    /// poll the wall-clock deadline. Placed where the tree-walker checks:
+    /// after the condition, before the body.
+    IterCheck { slot: Reg, label: &'static str },
+    /// Call a lowered function: arity-matched, scalar args from registers,
+    /// `r[dst]` receives the return value (0 when the callee returns
+    /// nothing). Falls back to the tree-walker when the callee is
+    /// unlowered.
+    Call { dst: Reg, f: u32, args: Vec<Reg> },
+    /// `r[dst] = rand()` — consumes one seed from the deterministic
+    /// stream, exactly like the tree-walker's front-end `rand()`.
+    Rand { dst: Reg },
+    /// `r[dst] = power2(r[a])`
+    Power2 { dst: Reg, a: Reg },
+    /// `r[dst] = abs(r[a])` (type-preserving; bool becomes int).
+    Abs { dst: Reg, a: Reg },
+    /// `r[dst] = min/max(r[a], r[b])` with float promotion.
+    MinMax { dst: Reg, a: Reg, b: Reg, is_min: bool },
+    /// Return from the current activation (`None` returns 0 to the
+    /// caller), freeing the frame's scopes innermost-first.
+    Ret { src: Option<Reg> },
+    /// Push a runtime scope (block entry).
+    EnterScope,
+    /// Pop and free `n` runtime scopes (block exit, `break`/`continue`).
+    ExitScopes { n: u16 },
+    /// Bind `name` to register `slot` in the innermost runtime scope so
+    /// tree escapes resolve it by name.
+    BindName { name: String, slot: Reg },
+    /// `r[dst] = eval_scalar(exprs[e])` through the tree-walker.
+    EvalExpr { dst: Reg, e: u32 },
+    /// Evaluate `exprs[e]` for effect through the tree-walker.
+    EvalEffect { e: u32 },
+    /// Execute `stmts[s]` through the tree-walker (parallel constructs,
+    /// declarations it cannot register-allocate, `swap`, index sets).
+    /// Lowering guarantees such statements complete with normal flow.
+    Tree { s: u32 },
+    /// No operation (pass output; compacted away).
+    Nop,
+}
+
+/// A lowered function body: code plus the AST fragments its tree escapes
+/// reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrBody {
+    pub code: Vec<Instr>,
+    /// Statements referenced by [`Instr::Tree`].
+    pub stmts: Vec<Stmt>,
+    /// Expressions referenced by [`Instr::EvalExpr`] / [`Instr::EvalEffect`].
+    pub exprs: Vec<Expr>,
+}
+
+/// One lowered function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrFunc {
+    pub name: String,
+    /// Parameter coercion: `true` = float, `false` = int (everything
+    /// non-float coerces to int, matching the tree-walker).
+    pub params: Vec<bool>,
+    /// Total registers of an activation.
+    pub n_slots: u16,
+    /// Registers `0..n_perm` are named locals / parameters / loop
+    /// counters; the rest are statement temporaries.
+    pub n_perm: u16,
+    /// `None` when lowering overflowed the register file — the VM calls
+    /// this function through the tree-walker instead.
+    pub body: Option<IrBody>,
+}
+
+/// The lowered program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrProgram {
+    pub funcs: Vec<IrFunc>,
+    pub by_name: std::collections::HashMap<String, usize>,
+    /// Global scalar names in index order (for rendering).
+    pub global_names: Vec<String>,
+    /// Optimization level the program was lowered at.
+    pub opt: IrOpt,
+    /// Whether the whole program may run on the caller's thread: every
+    /// function lowered, no user calls inside tree escapes (those would
+    /// recurse natively through the tree-walker), and every escape's AST
+    /// shallow enough that tree recursion stays within a small bound.
+    /// When false, [`crate::exec::Program::run`] spawns the big-stack
+    /// interpreter thread exactly as the AST backend does.
+    pub inline_ok: bool,
+}

@@ -1,0 +1,498 @@
+//! Per-instruction optimization passes over lowered bodies, plus the
+//! aggressive AST-level rewrites.
+//!
+//! The instruction passes ([`optimize`]) touch only *uncharged*
+//! front-end instructions, so under [`IrOpt::Balanced`] results,
+//! simulated cycles, fuel, and errors stay bit-identical to the AST
+//! backend. The AST rewrites ([`aggressive_rewrite`], run only under
+//! [`IrOpt::Aggressive`]) remove charged machine work — dead-context
+//! elimination and communication coalescing — so cycle counts may drop;
+//! results of error-free programs are unchanged, but a program whose
+//! only error was raised inside an eliminated dead arm may now succeed.
+//!
+//! [`IrOpt::Balanced`]: crate::exec::IrOpt::Balanced
+//! [`IrOpt::Aggressive`]: crate::exec::IrOpt::Aggressive
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use uc_cm::{ElemType, Scalar};
+
+use super::{Instr, IrBody, Reg};
+use crate::ast::{BinaryOp, Block, Expr, FuncDef, Stmt, UcKind, UcStmt};
+use crate::exec::{coerce_scalar, scalar_binary, scalar_unary};
+use crate::stdlib;
+
+/// Run the balanced pass pipeline over one lowered body.
+pub fn optimize(body: &mut IrBody, n_perm: u16) {
+    const_fold(&mut body.code, n_perm);
+    reachability(&mut body.code);
+    dead_stores(&mut body.code, n_perm);
+    strip_scope_ops(&mut body.code);
+    compact(&mut body.code);
+    fallthrough_jumps(&mut body.code);
+}
+
+/// After compaction, a jump whose target is the very next instruction —
+/// typically left behind by a branch folded on a known condition — is a
+/// no-op; drop it and re-compact.
+fn fallthrough_jumps(code: &mut Vec<Instr>) {
+    let mut changed = false;
+    for (i, ins) in code.iter_mut().enumerate() {
+        if let Instr::Jump { t } = ins {
+            if *t as usize == i + 1 {
+                *ins = Instr::Nop;
+                changed = true;
+            }
+        }
+    }
+    if changed {
+        compact(code);
+    }
+}
+
+// ---- constant folding -------------------------------------------------
+
+/// Fold constants within basic blocks and simplify conditional jumps on
+/// known conditions. Register knowledge is dropped at every jump target
+/// (block join) and across instructions that can write registers by
+/// name (tree escapes clobber named slots; calls clobber only their
+/// destination — callees cannot reach the caller's frame).
+fn const_fold(code: &mut [Instr], n_perm: u16) {
+    let mut targets = HashSet::new();
+    for ins in code.iter() {
+        if let Instr::Jump { t } | Instr::JumpIfFalse { t, .. } | Instr::JumpIfTrue { t, .. } = ins
+        {
+            targets.insert(*t);
+        }
+    }
+    let mut known: HashMap<Reg, Scalar> = HashMap::new();
+    for (i, ins) in code.iter_mut().enumerate() {
+        if targets.contains(&(i as u32)) {
+            known.clear();
+        }
+        // (dst, folded value): Some(v) rewrites the instruction to a
+        // `Const` and records it; None-valued entries just invalidate.
+        let mut fold: Option<(Reg, Option<Scalar>)> = None;
+        match &*ins {
+            Instr::Const { dst, v } => {
+                known.insert(*dst, *v);
+            }
+            Instr::Copy { dst, src } => fold = Some((*dst, known.get(src).copied())),
+            Instr::Bin { op, dst, a, b } => {
+                let v = match (known.get(a), known.get(b)) {
+                    (Some(&x), Some(&y)) => scalar_binary(*op, x, y).ok(),
+                    _ => None,
+                };
+                fold = Some((*dst, v));
+            }
+            Instr::Un { op, dst, a } => {
+                fold = Some((*dst, known.get(a).map(|&x| scalar_unary(*op, x))));
+            }
+            Instr::Truthy { dst, src } => {
+                fold = Some((*dst, known.get(src).map(|x| Scalar::Int(x.as_bool() as i64))));
+            }
+            Instr::Power2 { dst, a } => {
+                fold =
+                    Some((*dst, known.get(a).map(|x| Scalar::Int(stdlib::power2(x.as_int())))));
+            }
+            Instr::Abs { dst, a } => {
+                fold = Some((*dst, known.get(a).map(|&x| fold_abs(x))));
+            }
+            Instr::MinMax { dst, a, b, is_min } => {
+                let v = match (known.get(a), known.get(b)) {
+                    (Some(&x), Some(&y)) => Some(fold_minmax(x, y, *is_min)),
+                    _ => None,
+                };
+                fold = Some((*dst, v));
+            }
+            Instr::StoreSlot { slot, src, float } => {
+                let ty = if *float { ElemType::Float } else { ElemType::Int };
+                match known.get(src).copied() {
+                    Some(v) => {
+                        known.insert(*slot, coerce_scalar(v, ty));
+                    }
+                    None => {
+                        known.remove(slot);
+                    }
+                }
+            }
+            Instr::LoadGlobal { dst, .. } | Instr::Rand { dst } | Instr::Call { dst, .. } => {
+                known.remove(dst);
+            }
+            Instr::StoreGlobal { .. } | Instr::SetSpan { .. } => {}
+            Instr::IterInit { slot } | Instr::IterCheck { slot, .. } => {
+                known.remove(slot);
+            }
+            Instr::JumpIfFalse { c, t } => {
+                let t = *t;
+                if let Some(v) = known.get(c) {
+                    if v.as_bool() {
+                        *ins = Instr::Nop;
+                    } else {
+                        *ins = Instr::Jump { t };
+                        known.clear();
+                    }
+                }
+            }
+            Instr::JumpIfTrue { c, t } => {
+                let t = *t;
+                if let Some(v) = known.get(c) {
+                    if v.as_bool() {
+                        *ins = Instr::Jump { t };
+                        known.clear();
+                    } else {
+                        *ins = Instr::Nop;
+                    }
+                }
+            }
+            Instr::Jump { .. } | Instr::Ret { .. } => known.clear(),
+            Instr::EvalExpr { dst, .. } => {
+                let dst = *dst;
+                known.retain(|&r, _| r >= n_perm);
+                known.remove(&dst);
+            }
+            Instr::EvalEffect { .. } | Instr::Tree { .. } => {
+                known.retain(|&r, _| r >= n_perm);
+            }
+            Instr::EnterScope | Instr::ExitScopes { .. } | Instr::BindName { .. } | Instr::Nop => {
+            }
+        }
+        match fold {
+            Some((dst, Some(v))) => {
+                *ins = Instr::Const { dst, v };
+                known.insert(dst, v);
+            }
+            Some((dst, None)) => {
+                known.remove(&dst);
+            }
+            None => {}
+        }
+    }
+}
+
+/// `abs` on a known scalar, matching the tree-walker exactly.
+fn fold_abs(s: Scalar) -> Scalar {
+    match s {
+        Scalar::Int(x) => Scalar::Int(x.wrapping_abs()),
+        Scalar::Float(x) => Scalar::Float(x.abs()),
+        Scalar::Bool(b) => Scalar::Int(b as i64),
+    }
+}
+
+/// `min`/`max` on known scalars, with the tree-walker's float promotion.
+fn fold_minmax(a: Scalar, b: Scalar, is_min: bool) -> Scalar {
+    if a.elem_type() == ElemType::Float || b.elem_type() == ElemType::Float {
+        let (x, y) = (a.as_float(), b.as_float());
+        Scalar::Float(if is_min { x.min(y) } else { x.max(y) })
+    } else {
+        let (x, y) = (a.as_int(), b.as_int());
+        Scalar::Int(if is_min { x.min(y) } else { x.max(y) })
+    }
+}
+
+// ---- dead code --------------------------------------------------------
+
+/// Nop out instructions no path from the entry reaches.
+fn reachability(code: &mut [Instr]) {
+    if code.is_empty() {
+        return;
+    }
+    let mut seen = vec![false; code.len()];
+    let mut work = VecDeque::from([0usize]);
+    while let Some(i) = work.pop_front() {
+        if i >= code.len() || seen[i] {
+            continue;
+        }
+        seen[i] = true;
+        match &code[i] {
+            Instr::Jump { t } => work.push_back(*t as usize),
+            Instr::JumpIfFalse { t, .. } | Instr::JumpIfTrue { t, .. } => {
+                work.push_back(i + 1);
+                work.push_back(*t as usize);
+            }
+            Instr::Ret { .. } => {}
+            _ => work.push_back(i + 1),
+        }
+    }
+    for (i, ins) in code.iter_mut().enumerate() {
+        if !seen[i] {
+            *ins = Instr::Nop;
+        }
+    }
+}
+
+/// Remove pure writes to temporaries that are never read. Named slots
+/// (`< n_perm`) are exempt — tree escapes read them by name. Iterated to
+/// a fixpoint so chains of dead temporaries collapse.
+fn dead_stores(code: &mut [Instr], n_perm: u16) {
+    loop {
+        let mut read = HashSet::new();
+        for ins in code.iter() {
+            match ins {
+                Instr::Copy { src, .. } | Instr::Truthy { src, .. } => {
+                    read.insert(*src);
+                }
+                Instr::Bin { a, b, .. } | Instr::MinMax { a, b, .. } => {
+                    read.insert(*a);
+                    read.insert(*b);
+                }
+                Instr::Un { a, .. } | Instr::Power2 { a, .. } | Instr::Abs { a, .. } => {
+                    read.insert(*a);
+                }
+                Instr::StoreSlot { src, .. } | Instr::StoreGlobal { src, .. } => {
+                    read.insert(*src);
+                }
+                Instr::JumpIfFalse { c, .. } | Instr::JumpIfTrue { c, .. } => {
+                    read.insert(*c);
+                }
+                Instr::IterCheck { slot, .. } => {
+                    read.insert(*slot);
+                }
+                Instr::Call { args, .. } => read.extend(args.iter().copied()),
+                Instr::Ret { src: Some(r) } => {
+                    read.insert(*r);
+                }
+                _ => {}
+            }
+        }
+        let mut changed = false;
+        for ins in code.iter_mut() {
+            let dst = match ins {
+                Instr::Const { dst, .. }
+                | Instr::Copy { dst, .. }
+                | Instr::Un { dst, .. }
+                | Instr::Truthy { dst, .. }
+                | Instr::LoadGlobal { dst, .. }
+                | Instr::Power2 { dst, .. }
+                | Instr::Abs { dst, .. }
+                | Instr::MinMax { dst, .. } => *dst,
+                // Div/Mod can trap; Rand consumes the seed stream.
+                Instr::Bin { op, dst, .. }
+                    if !matches!(op, BinaryOp::Div | BinaryOp::Mod) =>
+                {
+                    *dst
+                }
+                _ => continue,
+            };
+            if dst >= n_perm && !read.contains(&dst) {
+                *ins = Instr::Nop;
+                changed = true;
+            }
+        }
+        if !changed {
+            return;
+        }
+    }
+}
+
+/// A function with no tree escapes never consults its runtime scopes:
+/// drop the scope bookkeeping entirely.
+fn strip_scope_ops(code: &mut [Instr]) {
+    let has_escapes = code
+        .iter()
+        .any(|i| matches!(i, Instr::Tree { .. } | Instr::EvalExpr { .. } | Instr::EvalEffect { .. }));
+    if has_escapes {
+        return;
+    }
+    for ins in code.iter_mut() {
+        if matches!(ins, Instr::EnterScope | Instr::ExitScopes { .. } | Instr::BindName { .. }) {
+            *ins = Instr::Nop;
+        }
+    }
+}
+
+/// Drop `Nop`s and remap jump targets. A target that pointed at a `Nop`
+/// lands on the next kept instruction.
+fn compact(code: &mut Vec<Instr>) {
+    let mut map = vec![0u32; code.len() + 1];
+    let mut kept = 0u32;
+    for (i, ins) in code.iter().enumerate() {
+        map[i] = kept;
+        if !matches!(ins, Instr::Nop) {
+            kept += 1;
+        }
+    }
+    map[code.len()] = kept;
+    let old = std::mem::take(code);
+    code.reserve(kept as usize);
+    for mut ins in old {
+        if matches!(ins, Instr::Nop) {
+            continue;
+        }
+        if let Instr::Jump { t } | Instr::JumpIfFalse { t, .. } | Instr::JumpIfTrue { t, .. } =
+            &mut ins
+        {
+            *t = map[*t as usize];
+        }
+        code.push(ins);
+    }
+}
+
+// ---- aggressive AST rewrites ------------------------------------------
+
+/// Rewrite parallel constructs before lowering ([`crate::exec::IrOpt::Aggressive`]
+/// only): drop `par` arms with literally-false predicates whose bodies
+/// have no front-end effects (dead-context elimination), strip
+/// literally-true predicates, and merge adjacent compatible `par`
+/// statements over the same index sets (communication coalescing).
+pub(crate) fn aggressive_rewrite(f: &mut FuncDef) {
+    rewrite_block(&mut f.body);
+}
+
+fn rewrite_block(b: &mut Block) {
+    for s in &mut b.stmts {
+        rewrite_stmt(s);
+    }
+    coalesce(&mut b.stmts);
+}
+
+fn rewrite_stmt(s: &mut Stmt) {
+    match s {
+        Stmt::Block(b) => rewrite_block(b),
+        Stmt::If { then_branch, else_branch, .. } => {
+            rewrite_stmt(then_branch);
+            if let Some(e) = else_branch {
+                rewrite_stmt(e);
+            }
+        }
+        Stmt::While { body, .. } | Stmt::For { body, .. } => rewrite_stmt(body),
+        Stmt::Uc(uc) => {
+            for arm in &mut uc.arms {
+                rewrite_stmt(&mut arm.body);
+            }
+            if let Some(o) = &mut uc.others {
+                rewrite_stmt(o);
+            }
+            rewrite_uc(uc);
+            // Every arm eliminated and nothing left to mask: the whole
+            // construct — space setup included — does no work.
+            if uc.kind == UcKind::Par && uc.arms.is_empty() && uc.others.is_none() {
+                *s = Stmt::Empty;
+            }
+        }
+        _ => {}
+    }
+}
+
+fn rewrite_uc(uc: &mut UcStmt) {
+    if uc.kind != UcKind::Par {
+        // `oneof` arm selection and `seq`/`solve` arm handling depend on
+        // the arm list itself; leave them alone.
+        return;
+    }
+    // Dead-context elimination: a literally-false predicate masks every
+    // write in the arm body, so if the body also has no front-end
+    // effects (calls, scalar assignments, declarations, control flow)
+    // the whole arm — predicate broadcast included — is dead.
+    uc.arms.retain(|arm| {
+        match arm.pred.as_ref().and_then(lit_truth) {
+            Some(false) => !droppable_stmt(&arm.body),
+            _ => true,
+        }
+    });
+    // A literally-true predicate is the full mask; with no `others`
+    // clause (whose mask is the OR-complement of *predicated* arms) and
+    // no `*` iteration (whose termination test ORs predicated arms'
+    // masks) the predicate broadcast is pure overhead.
+    if uc.others.is_none() && !uc.star {
+        for arm in &mut uc.arms {
+            if arm.pred.as_ref().and_then(lit_truth) == Some(true) {
+                arm.pred = None;
+            }
+        }
+    }
+}
+
+/// Merge `par (I) A; par (I) B;` into `par (I) { A-arms, B-arms }` when
+/// the second statement's arms are unpredicated and neither has an
+/// `others` clause or `*` iteration. `run_arms` evaluates all predicates
+/// before any body, so appending predicate-free arms preserves the
+/// exact evaluation order while saving a space push/pop.
+fn coalesce(stmts: &mut Vec<Stmt>) {
+    let mut i = 0;
+    while i + 1 < stmts.len() {
+        let can = match (&stmts[i], &stmts[i + 1]) {
+            (Stmt::Uc(a), Stmt::Uc(b)) => {
+                a.kind == UcKind::Par
+                    && b.kind == UcKind::Par
+                    && !a.star
+                    && !b.star
+                    && a.idxs == b.idxs
+                    && a.others.is_none()
+                    && b.others.is_none()
+                    && b.arms.iter().all(|arm| arm.pred.is_none())
+            }
+            _ => false,
+        };
+        if can {
+            let Stmt::Uc(b) = stmts.remove(i + 1) else { unreachable!() };
+            let Stmt::Uc(a) = &mut stmts[i] else { unreachable!() };
+            a.arms.extend(b.arms);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Truthiness of a predicate built purely from literals — no names, so
+/// no shadowing or runtime-value concerns. Uses the runtime scalar
+/// semantics verbatim.
+fn lit_truth(e: &Expr) -> Option<bool> {
+    lit_scalar(e).map(|s| s.as_bool())
+}
+
+fn lit_scalar(e: &Expr) -> Option<Scalar> {
+    match e {
+        Expr::IntLit(v, _) => Some(Scalar::Int(*v)),
+        Expr::FloatLit(v, _) => Some(Scalar::Float(*v)),
+        Expr::Inf(_) => Some(Scalar::Int(i64::MAX)),
+        Expr::Unary { op, expr, .. } => Some(scalar_unary(*op, lit_scalar(expr)?)),
+        Expr::Binary { op, lhs, rhs, .. } => {
+            scalar_binary(*op, lit_scalar(lhs)?, lit_scalar(rhs)?).ok()
+        }
+        Expr::Ternary { cond, then_e, else_e, .. } => {
+            if lit_scalar(cond)?.as_bool() {
+                lit_scalar(then_e)
+            } else {
+                lit_scalar(else_e)
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Whether a masked-false arm body is free of front-end effects: only
+/// blocks and expression statements, no calls (user calls and `rand()`
+/// run unmasked on the front end), and assignments only through array
+/// subscripts (scalar assignments are unmasked).
+fn droppable_stmt(s: &Stmt) -> bool {
+    match s {
+        Stmt::Empty => true,
+        Stmt::Block(b) => b.stmts.iter().all(droppable_stmt),
+        Stmt::Expr(e) => droppable_expr(e),
+        _ => false,
+    }
+}
+
+fn droppable_expr(e: &Expr) -> bool {
+    match e {
+        Expr::IntLit(..) | Expr::FloatLit(..) | Expr::Inf(_) | Expr::Ident(..) => true,
+        Expr::Index { subs, .. } => subs.iter().all(droppable_expr),
+        Expr::Call { .. } => false,
+        Expr::Unary { expr, .. } => droppable_expr(expr),
+        Expr::Binary { lhs, rhs, .. } => droppable_expr(lhs) && droppable_expr(rhs),
+        Expr::Ternary { cond, then_e, else_e, .. } => {
+            droppable_expr(cond) && droppable_expr(then_e) && droppable_expr(else_e)
+        }
+        Expr::Assign { target, value, .. } => {
+            matches!(target.as_ref(), Expr::Index { .. })
+                && droppable_expr(target)
+                && droppable_expr(value)
+        }
+        Expr::Reduce(r) => {
+            r.arms.iter().all(|(p, o)| {
+                p.as_ref().is_none_or(droppable_expr) && droppable_expr(o)
+            }) && r.others.as_ref().is_none_or(droppable_expr)
+        }
+    }
+}

@@ -125,18 +125,17 @@ where
         }
         return;
     }
-    // Aim for a few chunks per thread so stealing can balance load.
+    // Aim for a few chunks per thread so stealing can balance load. The
+    // fan-out goes through `pool::run_chunks`, whose queued unit is a
+    // `Copy` chunk descriptor borrowing this frame — no per-job boxing,
+    // so a warm pool dispatches the whole batch without allocating.
     let chunk = len.div_ceil(threads * 4).max(min);
-    pool::scope(|s| {
-        let mut start = 0;
-        while start < len {
-            let end = (start + chunk).min(len);
-            s.spawn(move |_| {
-                for i in start..end {
-                    consume(i, unsafe { it.item_at(i) });
-                }
-            });
-            start = end;
+    let n_chunks = len.div_ceil(chunk);
+    pool::run_chunks(n_chunks, &|k| {
+        let start = k * chunk;
+        let end = (start + chunk).min(len);
+        for i in start..end {
+            consume(i, unsafe { it.item_at(i) });
         }
     });
 }

@@ -32,9 +32,65 @@ pub const MAX_THREADS: usize = 256;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
+/// A queued unit of work: either a boxed [`scope`] job or a borrowed
+/// chunk descriptor from [`run_chunks`]. Chunk descriptors are plain
+/// `Copy` data — enqueueing one never allocates once the queues have
+/// grown to their steady-state capacity, which is what lets the
+/// simulator's hot parallel paths run allocation-free on a warm pool.
+enum Task {
+    Boxed(Job),
+    Chunk(ChunkJob),
+}
+
+impl Task {
+    fn execute(self) {
+        match self {
+            Task::Boxed(job) => job(),
+            // Sound: `run_chunks` blocks until `pending` drains, so the
+            // batch (and the closure it borrows) outlives this call.
+            Task::Chunk(c) => unsafe { (*c.batch).run_one(c.index) },
+        }
+    }
+}
+
+/// One chunk of a [`run_chunks`] batch. The raw pointer refers to a
+/// `Batch` on the submitting thread's stack, kept alive until every
+/// chunk has executed.
+#[derive(Clone, Copy)]
+struct ChunkJob {
+    batch: *const Batch,
+    index: usize,
+}
+
+unsafe impl Send for ChunkJob {}
+
+/// Completion state for one [`run_chunks`] call, stack-allocated on the
+/// submitting thread.
+struct Batch {
+    /// The caller's chunk body; valid for the lifetime of the batch.
+    run: *const (dyn Fn(usize) + Sync),
+    /// Chunks not yet finished (executed or panicked).
+    pending: AtomicUsize,
+    /// First panic payload from any chunk.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl Batch {
+    /// # Safety
+    /// `self.run` must still be valid, i.e. the owning `run_chunks` call
+    /// must not have returned.
+    unsafe fn run_one(&self, index: usize) {
+        let f = &*self.run;
+        if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| f(index))) {
+            self.panic.lock().unwrap().get_or_insert(payload);
+        }
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 struct Shared {
     /// One work queue per background worker.
-    queues: Vec<Mutex<VecDeque<Job>>>,
+    queues: Vec<Mutex<VecDeque<Task>>>,
     /// Guards the sleep/wake handshake (never held while running jobs).
     sleep: Mutex<()>,
     wake: Condvar,
@@ -47,7 +103,7 @@ impl Shared {
     /// steals from the back of each peer queue. A non-worker caller
     /// (helping from [`Pool::wait_scope`]) passes `me = None` and only
     /// steals.
-    fn find_job(&self, me: Option<usize>) -> Option<Job> {
+    fn find_job(&self, me: Option<usize>) -> Option<Task> {
         if let Some(me) = me {
             if let Some(job) = self.queues[me].lock().unwrap().pop_front() {
                 return Some(job);
@@ -73,9 +129,22 @@ impl Shared {
 
     fn inject(&self, job: Job) {
         let slot = self.cursor.fetch_add(1, Ordering::Relaxed) % self.queues.len();
-        self.queues[slot].lock().unwrap().push_back(job);
+        self.queues[slot].lock().unwrap().push_back(Task::Boxed(job));
         // Take the sleep lock before notifying so a worker that found all
         // queues empty and is about to wait cannot miss this wakeup.
+        let _g = self.sleep.lock().unwrap();
+        self.wake.notify_all();
+    }
+
+    /// Place the `n` chunks of `batch` round-robin across the worker
+    /// queues, waking everyone once at the end.
+    fn inject_chunks(&self, batch: *const Batch, n: usize) {
+        let nq = self.queues.len();
+        let base = self.cursor.fetch_add(n, Ordering::Relaxed);
+        for index in 0..n {
+            let task = Task::Chunk(ChunkJob { batch, index });
+            self.queues[(base + index) % nq].lock().unwrap().push_back(task);
+        }
         let _g = self.sleep.lock().unwrap();
         self.wake.notify_all();
     }
@@ -90,7 +159,7 @@ pub struct Pool {
 fn worker_loop(shared: Arc<Shared>, me: usize) {
     loop {
         if let Some(job) = shared.find_job(Some(me)) {
-            job();
+            job.execute();
             continue;
         }
         let guard = shared.sleep.lock().unwrap();
@@ -213,10 +282,56 @@ impl Pool {
     fn wait_scope(&self, state: &ScopeState) {
         while state.pending.load(Ordering::SeqCst) != 0 {
             match self.shared.find_job(None) {
-                Some(job) => job(),
+                Some(job) => job.execute(),
                 None => std::thread::yield_now(),
             }
         }
+    }
+
+    /// Block until `batch.pending` drains, executing queued tasks (from
+    /// any batch or scope) while waiting.
+    fn wait_batch(&self, batch: &Batch) {
+        while batch.pending.load(Ordering::SeqCst) != 0 {
+            match self.shared.find_job(None) {
+                Some(job) => job.execute(),
+                None => std::thread::yield_now(),
+            }
+        }
+    }
+}
+
+/// Run `run(0)`, `run(1)`, …, `run(n_chunks - 1)` to completion, fanning
+/// the calls out across the pool. Unlike [`scope`]/[`Scope::spawn`] —
+/// which must box each spawned closure — the queued unit here is a plain
+/// `Copy` descriptor borrowing `run` from the caller's stack, so on a
+/// warm pool (queues at steady-state capacity) dispatching a batch
+/// performs **no heap allocation**. The call returns once every chunk
+/// has finished; a panic inside any chunk is re-thrown on the caller.
+///
+/// With a single-threaded pool (`UC_THREADS=1`) the chunks run inline in
+/// index order.
+pub fn run_chunks(n_chunks: usize, run: &(dyn Fn(usize) + Sync)) {
+    let pool = global();
+    if pool.workers == 0 || n_chunks <= 1 {
+        for index in 0..n_chunks {
+            run(index);
+        }
+        return;
+    }
+    // Erase the borrow's lifetime: `wait_batch` below returns only after
+    // every chunk has executed, so the pointer never outlives `run`.
+    let run = run as *const (dyn Fn(usize) + Sync + '_);
+    let run: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(run) };
+    let batch = Batch {
+        run,
+        pending: AtomicUsize::new(n_chunks),
+        panic: Mutex::new(None),
+    };
+    pool.shared.inject_chunks(&batch, n_chunks);
+    pool.wait_batch(&batch);
+    let payload = batch.panic.lock().unwrap().take();
+    if let Some(payload) = payload {
+        panic::resume_unwind(payload);
     }
 }
 
@@ -261,6 +376,29 @@ mod tests {
     #[test]
     fn scope_returns_closure_value() {
         assert_eq!(scope(|_| 42), 42);
+    }
+
+    #[test]
+    fn run_chunks_covers_every_index() {
+        let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        run_chunks(hits.len(), &|k| {
+            hits[k].fetch_add(k as u64 + 1, Ordering::Relaxed);
+        });
+        for (k, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), k as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn run_chunks_rethrows_panic() {
+        let caught = panic::catch_unwind(|| {
+            run_chunks(8, &|k| {
+                if k == 5 {
+                    panic!("chunk 5 failed");
+                }
+            });
+        });
+        assert!(caught.is_err());
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Differential testing of the two executor backends.
+//!
+//! The register-IR backend promises bit-identical observable behaviour
+//! to the AST tree-walker: same global scalars and arrays (floats by
+//! bit pattern), same simulated cycles and per-class op counters, and
+//! the same `RunError` — variant, span and UC call stack — when a
+//! program traps. This suite runs every committed example, the lint
+//! corpus and the hostile corpus under both backends with explicitly
+//! pinned configs (so `UC_EXEC` / `UC_IR_OPT` in the environment cannot
+//! flake it) and compares everything.
+//!
+//! A subprocess leg re-runs the example sweep under `UC_THREADS=1` and
+//! `8`, proving backend parity is also thread-count-invariant (the
+//! worker pool is env-sized once per process, so this needs a child
+//! process per thread count — same protocol as `determinism.rs`).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use uc::lang::exec::{ExecBackend, IrOpt};
+use uc::lang::{ExecConfig, ExecLimits, Program};
+
+/// Every observable of one program run, ready for exact comparison.
+#[derive(Debug, PartialEq)]
+struct Outcome {
+    /// `Ok` is the rendered globals; `Err` the full structured error.
+    result: Result<Vec<String>, String>,
+    cycles: u64,
+    counters: Vec<u64>,
+}
+
+fn observe(src: &str, cfg: ExecConfig) -> Result<Outcome, String> {
+    let mut p = Program::compile_with(src, cfg).map_err(|d| d.to_string())?;
+    let run = p.run();
+    // Capture the cost model before reading arrays back.
+    let cycles = p.cycles();
+    let k = p.machine().counters();
+    let counters = vec![k.alu, k.news, k.router, k.scan, k.context, k.front_end];
+    let result = match run {
+        Err(e) => Err(format!("{e:?}")),
+        Ok(()) => {
+            let mut state = Vec::new();
+            let mut scalars = p.scalar_names();
+            scalars.sort();
+            for name in scalars {
+                if let Some(v) = p.read_scalar(&name) {
+                    state.push(format!("{name} = {v:?}"));
+                }
+            }
+            let mut arrays = p.array_names();
+            arrays.sort();
+            for name in arrays {
+                if let Ok(data) = p.read_int_array(&name) {
+                    state.push(format!("{name} = {data:?}"));
+                } else if let Ok(data) = p.read_float_array(&name) {
+                    let bits: Vec<u64> = data.iter().map(|f| f.to_bits()).collect();
+                    state.push(format!("{name} = {bits:?}"));
+                }
+            }
+            Ok(state)
+        }
+    };
+    Ok(Outcome { result, cycles, counters })
+}
+
+fn config(backend: ExecBackend, ir_opt: IrOpt, limits: ExecLimits) -> ExecConfig {
+    ExecConfig { backend, ir_opt, limits, ..Default::default() }
+}
+
+/// Deterministic tight budgets for the hostile corpus: every attack
+/// program must trap on fuel, memory, depth or the iteration cap —
+/// never the wall clock, whose timing would make the comparison flaky.
+fn hostile_limits() -> ExecLimits {
+    ExecLimits {
+        fuel: Some(50_000),
+        max_mem_bytes: Some(1 << 20),
+        max_call_depth: 16,
+        max_iterations: 1_000,
+        ..Default::default()
+    }
+}
+
+fn uc_files(dir: &str) -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join(dir);
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "uc"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// All differential inputs with the limits they run under.
+fn corpus() -> Vec<(PathBuf, ExecLimits)> {
+    let mut inputs = Vec::new();
+    for f in uc_files("examples/uc") {
+        inputs.push((f, ExecLimits::default()));
+    }
+    for f in uc_files("tests/corpus") {
+        inputs.push((f, ExecLimits::default()));
+    }
+    for f in uc_files("tests/corpus/hostile") {
+        inputs.push((f, hostile_limits()));
+    }
+    assert!(inputs.len() >= 20, "differential corpus shrank to {}", inputs.len());
+    inputs
+}
+
+/// The headline parity guarantee: on every input, the IR backend matches
+/// the tree-walker observable-for-observable, including error spans and
+/// call stacks on the hostile corpus.
+#[test]
+fn ir_matches_ast_on_every_corpus_program() {
+    for (path, limits) in corpus() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let ast = observe(&src, config(ExecBackend::Ast, IrOpt::Balanced, limits.clone()));
+        let ir = observe(&src, config(ExecBackend::Ir, IrOpt::Balanced, limits));
+        match (ast, ir) {
+            // Compile rejections carry no backend; both must agree.
+            (Err(a), Err(b)) => assert_eq!(a, b, "{}", path.display()),
+            (Ok(a), Ok(b)) => assert_eq!(a, b, "{}", path.display()),
+            (a, b) => panic!("{}: one backend rejected, one ran:\n{a:?}\n{b:?}", path.display()),
+        }
+    }
+}
+
+/// Aggressive IR rewrites may only *remove* charged machine work: the
+/// program state must stay identical and the cycle count must never
+/// rise. On the dead-context corpus program the drop must be strict —
+/// that file exists to prove the pass fires.
+#[test]
+fn aggressive_opt_preserves_results_and_never_adds_cycles() {
+    for (path, limits) in corpus() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let bal = observe(&src, config(ExecBackend::Ir, IrOpt::Balanced, limits.clone()));
+        let agg = observe(&src, config(ExecBackend::Ir, IrOpt::Aggressive, limits));
+        let (Ok(bal), Ok(agg)) = (bal, agg) else { continue };
+        // Errors may legitimately differ (a trap inside an eliminated
+        // dead arm vanishes), but successful runs must agree exactly.
+        if let (Ok(b), Ok(a)) = (&bal.result, &agg.result) {
+            assert_eq!(b, a, "{}: aggressive IR changed results", path.display());
+            assert!(
+                agg.cycles <= bal.cycles,
+                "{}: aggressive IR raised cycles {} -> {}",
+                path.display(),
+                bal.cycles,
+                agg.cycles
+            );
+            if path.ends_with("tests/corpus/dead_context.uc")
+                || path.file_name().is_some_and(|n| n == "dead_context.uc")
+            {
+                assert!(
+                    agg.cycles < bal.cycles,
+                    "dead-context elimination did not fire ({} cycles)",
+                    agg.cycles
+                );
+            }
+        }
+    }
+}
+
+/// FNV-1a over the debug rendering of an outcome.
+fn digest(o: &Outcome) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in format!("{o:?}").bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Child half of the subprocess protocol: inert unless `UC_IR_DIFF_CHILD`
+/// is set. Prints one digest line per (program, backend) pair.
+#[test]
+fn emit_backend_digests_when_asked() {
+    if std::env::var("UC_IR_DIFF_CHILD").is_err() {
+        return;
+    }
+    for (path, limits) in corpus() {
+        let src = std::fs::read_to_string(&path).unwrap();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        for (tag, backend) in [("ast", ExecBackend::Ast), ("ir", ExecBackend::Ir)] {
+            let d = match observe(&src, config(backend, IrOpt::Balanced, limits.clone())) {
+                Ok(o) => digest(&o),
+                Err(_) => 0, // compile rejection: backend-independent
+            };
+            println!("DIGEST {name}/{tag} {d:016x}");
+        }
+    }
+}
+
+fn digests_under(threads: &str) -> BTreeMap<String, String> {
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = Command::new(exe)
+        .args(["emit_backend_digests_when_asked", "--exact", "--nocapture", "--test-threads=1"])
+        .env("UC_IR_DIFF_CHILD", "1")
+        .env("UC_THREADS", threads)
+        .output()
+        .expect("spawn child test binary");
+    assert!(
+        out.status.success(),
+        "child under UC_THREADS={threads} failed:\n{}\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .filter_map(|l| l.split("DIGEST ").nth(1))
+        .filter_map(|l| {
+            let (name, hex) = l.split_once(' ')?;
+            Some((name.to_string(), hex.to_string()))
+        })
+        .collect()
+}
+
+/// Backend parity must hold at every thread count, and each backend's
+/// digests must themselves be thread-count-invariant.
+#[test]
+fn backends_agree_under_one_and_eight_threads() {
+    if std::env::var("UC_IR_DIFF_CHILD").is_ok() {
+        return; // don't recurse when the whole binary runs in a child
+    }
+    let one = digests_under("1");
+    let eight = digests_under("8");
+    assert!(!one.is_empty(), "child produced no digests");
+    assert_eq!(one, eight, "digests moved with the thread count");
+    for (name, d) in &one {
+        let Some(prog) = name.strip_suffix("/ast") else { continue };
+        let ir = &one[&format!("{prog}/ir")];
+        assert_eq!(d, ir, "{prog}: IR and AST backends diverge under UC_THREADS=1");
+    }
+}

@@ -1,0 +1,85 @@
+//! Golden-file tests for `--emit ir`.
+//!
+//! The rendered IR is a public, line-oriented artifact (`uc run --emit
+//! ir` / `uc check --emit ir`): these tests pin it byte-for-byte for a
+//! few corpus programs so lowering, pass-pipeline, and renderer changes
+//! are always deliberate. To refresh after an intentional change:
+//!
+//! ```text
+//! uc run <input> --emit ir > tests/corpus/golden/<name>.ir
+//! ```
+//!
+//! (with `UC_IR_OPT=aggressive` for the `.aggressive.ir` files).
+
+use std::path::Path;
+use std::process::Command;
+
+/// Run the CLI with the backend environment pinned, so `UC_EXEC` /
+/// `UC_IR_OPT` in the ambient environment cannot flake the comparison.
+fn emit(cmd: &str, input: &str, aggressive: bool) -> String {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut uc = Command::new(env!("CARGO_BIN_EXE_uc"));
+    uc.args([cmd, root.join(input).to_str().unwrap(), "--emit", "ir"])
+        .env_remove("UC_EXEC")
+        .env_remove("UC_IR_OPT");
+    if aggressive {
+        uc.env("UC_IR_OPT", "aggressive");
+    }
+    let out = uc.output().unwrap();
+    assert!(
+        out.status.success(),
+        "{cmd} {input} --emit ir failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+fn golden(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/golden").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+#[test]
+fn shortest_path_ir_is_stable() {
+    assert_eq!(emit("run", "examples/uc/shortest_path.uc", false), golden("shortest_path.ir"));
+}
+
+#[test]
+fn dead_store_ir_is_stable() {
+    assert_eq!(emit("run", "tests/corpus/dead_store.uc", false), golden("dead_store.ir"));
+}
+
+#[test]
+fn aggressive_dead_context_ir_is_stable() {
+    assert_eq!(
+        emit("run", "tests/corpus/dead_context.uc", true),
+        golden("dead_context.aggressive.ir")
+    );
+}
+
+/// `uc check --emit ir` prints the same artifact after the lint passes.
+#[test]
+fn check_emits_the_same_ir() {
+    assert_eq!(emit("check", "examples/uc/jacobi.uc", false), golden("jacobi.ir"));
+    assert_eq!(
+        emit("run", "examples/uc/jacobi.uc", false),
+        emit("check", "examples/uc/jacobi.uc", false)
+    );
+}
+
+/// Every function in every committed example lowers completely — no
+/// `<unlowered>` fallback markers, and parallel statements appear as
+/// single `tree` escapes inside registerized control flow.
+#[test]
+fn examples_lower_without_fallback() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("examples/uc");
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "uc") {
+            let rel = path.strip_prefix(env!("CARGO_MANIFEST_DIR")).unwrap();
+            let ir = emit("run", rel.to_str().unwrap(), false);
+            assert!(!ir.contains("<unlowered"), "{}:\n{ir}", path.display());
+            assert!(ir.contains("inline="), "{}:\n{ir}", path.display());
+        }
+    }
+}
